@@ -1,0 +1,20 @@
+"""Regenerates the Section IV-C1 core-energy comparison."""
+
+from benchmarks.conftest import show
+from repro.experiments import core_energy
+
+
+def test_core_energy_reproduction(benchmark, cal):
+    result = core_energy.run()
+    show(result)
+    assert result.comparisons[0].relative_error < 0.01
+
+    model = cal.power_model("mc-ref")
+    rates = cal.results["mc-ref"].stats.activity_rates()
+
+    def core_pj_at_1v():
+        per_instr = model.cycle_energy().cores / rates["core_active"]
+        return per_instr * (1.0 / 1.2) ** 2 * 1e12
+
+    value = benchmark(core_pj_at_1v)
+    assert 15.0 < value < 16.5  # paper: 15.6 pJ/op

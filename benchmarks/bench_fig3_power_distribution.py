@@ -1,0 +1,16 @@
+"""Regenerates Fig. 3 (mc-ref power distribution pie)."""
+
+from benchmarks.conftest import show
+from repro.experiments import fig3
+
+
+def test_fig3_reproduction(benchmark, cal):
+    result = fig3.run()
+    show(result)
+    model = cal.power_model("mc-ref")
+    frequency = 8e6 / cal.ops_per_cycle("mc-ref")
+
+    shares = benchmark(
+        lambda: model.dynamic_power(frequency, 1.2,
+                                    post_layout=False).shares())
+    assert shares["im"] > 0.5  # the pie's headline: IM dominates

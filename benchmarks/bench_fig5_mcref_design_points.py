@@ -1,0 +1,26 @@
+"""Regenerates Fig. 5 (mc-ref power vs throughput per clock constraint)."""
+
+import numpy as np
+
+from benchmarks.conftest import show
+from repro.experiments import fig5
+from repro.power.synthesis import DESIGN_POINTS_NS, SynthesisModel
+
+
+def test_fig5_reproduction(benchmark, cal):
+    result = fig5.run()
+    show(result)
+    assert result.max_relative_error() < 0.02
+
+    leak = cal.power_model("mc-ref").total_leakage(cal.technology.v_nom)
+    model = SynthesisModel(cal.technology, leakage_nominal_w=leak)
+    workloads = np.logspace(6, 9, 40)
+
+    def curves():
+        return {period: [model.power("mc-ref", period, w)
+                         for w in workloads
+                         if w <= model.max_workload("mc-ref", period)]
+                for period in DESIGN_POINTS_NS["mc-ref"]}
+
+    series = benchmark(curves)
+    assert all(len(points) > 10 for points in series.values())

@@ -1,0 +1,17 @@
+"""Regenerates Fig. 6 (proposed power vs throughput per constraint)."""
+
+from benchmarks.conftest import show
+from repro.experiments import fig6
+from repro.power.synthesis import SynthesisModel
+
+
+def test_fig6_reproduction(benchmark, cal):
+    result = fig6.run()
+    show(result)
+    assert result.max_relative_error() < 0.02
+
+    leak = cal.power_model("ulpmc-int").total_leakage(cal.technology.v_nom)
+    calibration = benchmark(
+        lambda: SynthesisModel(cal.technology, leakage_nominal_w=leak))
+    saving = calibration.saving_vs_speed_optimised("proposed")
+    assert 0.23 < saving < 0.26  # paper: 24.1 %

@@ -1,0 +1,22 @@
+"""Regenerates Fig. 7 (normalised power across 5 kOps/s .. 637 MOps/s)."""
+
+from benchmarks.conftest import show
+from repro.experiments import fig7
+from repro.experiments.common import ARCHES
+
+
+def test_fig7_reproduction(benchmark, cal):
+    result = fig7.run()
+    show(result)
+
+    workloads = [5e3, 50e3, 500e3, 5e6, 50e6, 500e6]
+
+    def sweep():
+        return {arch: [cal.workload_power(arch, w) for w in workloads]
+                for arch in ARCHES}
+
+    powers = benchmark(sweep)
+    top_saving = 1 - powers["ulpmc-bank"][-1] / powers["mc-ref"][-1]
+    low_saving = 1 - powers["ulpmc-bank"][0] / powers["mc-ref"][0]
+    assert 0.34 < top_saving < 0.43  # paper: 39.5 % at 637 MOps/s
+    assert 0.34 < low_saving < 0.43  # paper: 38.8 % at 5 kOps/s

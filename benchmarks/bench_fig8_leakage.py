@@ -1,0 +1,26 @@
+"""Regenerates Fig. 8 (dynamic vs leakage split at low workloads)."""
+
+from benchmarks.conftest import show
+from repro.experiments import fig8
+from repro.experiments.common import ARCHES
+
+
+def test_fig8_reproduction(benchmark, cal):
+    result = fig8.run()
+    show(result)
+    assert result.max_relative_error() < 0.06
+
+    def decompose():
+        rows = []
+        for arch in ARCHES:
+            model = cal.power_model(arch)
+            point = cal.dvfs().operating_point(50e3,
+                                               cal.ops_per_cycle(arch))
+            rows.append((model.dynamic_power(point.frequency_hz,
+                                             point.voltage).total,
+                         model.total_leakage(point.voltage)))
+        return rows
+
+    rows = benchmark(decompose)
+    leak_saving = 1 - rows[2][1] / rows[0][1]
+    assert 0.33 < leak_saving < 0.42  # paper: 38.8 %

@@ -1,0 +1,41 @@
+"""Regenerates the core-count scaling and battery-lifetime extension
+studies."""
+
+from benchmarks.conftest import show
+from repro.experiments import lifetime, scaling
+from repro.power.lifetime import Battery, CR2032, lifetime_days
+
+
+def test_scaling_reproduction(benchmark, cal):
+    result = scaling.run()
+    show(result)
+    burst = {row[0]: row[6] for row in result.rows if row[1] == "burst"}
+    assert burst[8] < burst[4] < burst[2] < burst[1]
+
+    technology = cal.technology
+
+    def burst_voltages():
+        # The voltage-selection core of the scaling study: per-core clock
+        # falls with the core count, and the supply follows.
+        voltages = []
+        for n_cores in (1, 2, 4, 8):
+            speed = min(1.0, 0.8 / n_cores)
+            voltages.append(technology.voltage_for_speed(speed))
+        return voltages
+
+    voltages = benchmark(burst_voltages)
+    assert voltages == sorted(voltages, reverse=True)
+
+
+def test_lifetime_reproduction(benchmark, cal):
+    result = lifetime.run()
+    show(result)
+
+    cell = Battery.from_preset(CR2032)
+
+    def mission_lifetimes():
+        return {arch: lifetime_days(cal.workload_power(arch, 261e3), cell)
+                for arch in ("mc-ref", "ulpmc-bank")}
+
+    days = benchmark(mission_lifetimes)
+    assert days["ulpmc-bank"] > 1.5 * days["mc-ref"]

@@ -1,0 +1,14 @@
+"""Regenerates Table I (area in kGE) and times the area model."""
+
+from benchmarks.conftest import show
+from repro.experiments import table1
+from repro.platform.config import build_config
+from repro.power.area import area_report
+
+
+def test_table1_reproduction(benchmark):
+    result = table1.run()
+    show(result)
+    assert result.max_relative_error() < 0.10
+    configs = [build_config(name) for name in ("mc-ref", "ulpmc-int")]
+    benchmark(lambda: [area_report(config) for config in configs])

@@ -1,0 +1,21 @@
+"""Regenerates Table II (dynamic power at 8 MOps/s, 1.2 V)."""
+
+from benchmarks.conftest import show
+from repro.experiments import table2
+from repro.experiments.common import ARCHES
+
+
+def test_table2_reproduction(benchmark, cal):
+    result = table2.run()
+    show(result)
+    models = {arch: cal.power_model(arch) for arch in ARCHES}
+    frequencies = {arch: 8e6 / cal.ops_per_cycle(arch) for arch in ARCHES}
+
+    def breakdowns():
+        return {arch: models[arch].dynamic_power(frequencies[arch], 1.2,
+                                                 post_layout=False)
+                for arch in ARCHES}
+
+    totals = benchmark(breakdowns)
+    saving = 1 - totals["ulpmc-bank"].total / totals["mc-ref"].total
+    assert 0.35 < saving < 0.45  # paper: 40.6 %

@@ -1,0 +1,22 @@
+"""Benchmark harness plumbing.
+
+Each ``bench_*`` module regenerates one paper table/figure: it prints the
+reproduced rows (run pytest with ``-s`` to see them inline) and times the
+computational core behind that artefact with pytest-benchmark.
+"""
+
+import pytest
+
+from repro.power.calibration import calibrated_set
+
+
+@pytest.fixture(scope="session")
+def cal():
+    """The calibrated model set (runs the three reference simulations)."""
+    return calibrated_set()
+
+
+def show(result) -> None:
+    """Print one experiment's reproduced rows and comparisons."""
+    print()
+    print(result.to_text())

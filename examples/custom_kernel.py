@@ -1,0 +1,97 @@
+"""Writing your own TamaRISC kernel: a multi-lead FIR notch filter.
+
+Shows the bare-metal toolchain the library exposes: assemble a program,
+lay out shared coefficients and private sample buffers, run it on all
+three platforms, and compare the timing statistics — i.e. how a user
+would evaluate *their* biosignal kernel on these architectures.
+
+The kernel is a 9-tap moving FIR applied per lead (one core per lead),
+with the coefficient taps in the shared section (read-broadcast on every
+tap when the cores are synchronised, like the paper's CS vector).
+
+Run:  python examples/custom_kernel.py
+"""
+
+import numpy as np
+
+from repro.memory.layout import PRIVATE_BASE
+from repro.platform import Benchmark, build_platform
+from repro.tamarisc import assemble
+from repro.tamarisc.program import DataImage
+
+N_TAPS = 9
+N_SAMPLES = 200
+COEFFS = [1, 2, 4, 8, 10, 8, 4, 2, 1]  # integer low-pass, sum 40
+
+SOURCE = f"""
+; 9-tap FIR, Q0 integer taps; y[n] = sum(c[k] * x[n-k]) >> 5
+.equ COEFFS,  0                 ; shared section
+.equ XBASE,   {PRIVATE_BASE}
+.equ YBASE,   {PRIVATE_BASE + N_SAMPLES}
+.equ NOUT,    {N_SAMPLES - N_TAPS + 1}
+.equ NTAPS,   {N_TAPS}
+
+start:
+    li   r1, XBASE              ; sliding window start
+    li   r2, YBASE
+    li   r3, NOUT
+outer:
+    mov  r4, r1                 ; tap pointer
+    li   r5, COEFFS
+    mov  r6, #NTAPS
+    mov  r7, #0                 ; accumulator
+tap:
+    mov  r8, [r4++]             ; sample (private)
+    mul  r8, r8, [r5++]         ; * coefficient (shared, broadcast)
+    add  r7, r7, r8
+    sub  r6, r6, #1
+    bne  tap
+    srl  r7, r7, #5             ; / 32
+    mov  [r2++], r7             ; store output (private)
+    add  r1, r1, #1             ; slide window
+    sub  r3, r3, #1
+    bne  outer
+    hlt
+"""
+
+
+def golden_fir(x):
+    y = np.convolve(x, COEFFS, mode="valid") >> 5
+    return [int(v) & 0xFFFF for v in y]
+
+
+def main() -> None:
+    program = assemble(SOURCE, entry="start")
+    print(f"assembled {len(program)} instructions "
+          f"({program.size_bytes} bytes)\n")
+
+    rng = np.random.default_rng(42)
+    leads = rng.integers(0, 512, size=(8, N_SAMPLES))
+    data = DataImage()
+    data.set_shared_block(0, COEFFS)
+    for core in range(8):
+        data.set_private_block(core, PRIVATE_BASE,
+                               [int(v) for v in leads[core]])
+    bench = Benchmark("fir-notch", program, data)
+
+    print(f"{'arch':<11}{'cycles':>8}{'IM accesses':>13}{'DM accesses':>13}"
+          f"{'sync %':>8}")
+    for arch in ("mc-ref", "ulpmc-int", "ulpmc-bank"):
+        system = build_platform(arch)
+        stats = system.run(bench).stats
+        # Verify every lead against numpy.
+        for core in range(8):
+            expected = golden_fir(leads[core])
+            measured = system.read_logical_block(
+                core, PRIVATE_BASE + N_SAMPLES, len(expected))
+            assert measured == expected, f"{arch} core {core} diverged"
+        print(f"{arch:<11}{stats.total_cycles:>8}"
+              f"{stats.im_bank_accesses:>13}{stats.dm_bank_accesses:>13}"
+              f"{100 * stats.sync_fraction:>8.1f}")
+    print("\nall outputs verified against numpy; a fully data-independent "
+          "kernel stays in perfect lockstep, so even ulpmc-bank fetches "
+          "once per instruction for all 8 cores")
+
+
+if __name__ == "__main__":
+    main()

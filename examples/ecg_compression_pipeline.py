@@ -1,0 +1,63 @@
+"""End-to-end wearable ECG pipeline: sensor node to receiver.
+
+The paper's motivating scenario: an 8-lead wearable node compresses ECG
+on-body (compressed sensing + Huffman, one core per lead) and transmits
+the bitstream; the receiver decodes and reconstructs the signal.
+
+This example runs the *on-node* half on the cycle-accurate ulpmc-bank
+platform, then plays the *receiver* role in Python: Huffman-decode each
+lead's bitstream out of the simulated data memory, dequantise the
+measurements and reconstruct the waveform with OMP, reporting the PRD
+quality metric and effective data-rate reduction per lead.
+
+Run:  python examples/ecg_compression_pipeline.py
+"""
+
+import numpy as np
+
+from repro.biosignal import HuffmanDecoder, omp_reconstruct, \
+    percent_rms_difference
+from repro.kernels import BenchmarkSpec, build_benchmark, verify_result
+from repro.platform import build_platform
+
+SAMPLE_RATE_HZ = 250
+
+
+def main() -> None:
+    built = build_benchmark(BenchmarkSpec(huffman_private=True, seed=7))
+    memmap = built.memmap
+
+    print("simulating the sensor node (ulpmc-bank, 8 cores)...")
+    system = build_platform("ulpmc-bank")
+    result = system.run(built.benchmark)
+    verify_result(built, result)
+    cycles = result.stats.total_cycles
+    block_seconds = memmap.n_samples / SAMPLE_RATE_HZ
+    duty_mhz = cycles / block_seconds / 1e6
+    print(f"  {cycles} cycles per {block_seconds:.3f} s block "
+          f"-> {duty_mhz:.2f} MHz keeps real time\n")
+
+    decoder = HuffmanDecoder(built.code)
+    print(f"{'lead':>4} {'coded bits':>10} {'ratio':>6} {'PRD %':>6}")
+    for lead in range(built.spec.n_leads):
+        # Receiver side: read the transmitted words out of the node's
+        # private memory, exactly as a radio DMA would.
+        total_bits = system.read_logical(lead, memmap.out_base)
+        words = system.read_logical_block(
+            lead, memmap.out_base + 1, (total_bits + 15) // 16)
+        measurements = decoder.decode_measurements(total_bits, words)
+
+        original = np.array(built.golden[lead].samples, dtype=float)
+        reconstructed = omp_reconstruct(
+            np.array(measurements, dtype=float), built.matrix, sparsity=64)
+        prd = percent_rms_difference(original, reconstructed)
+        raw_bits = 16 * memmap.n_samples
+        print(f"{lead:>4} {total_bits:>10} {raw_bits / total_bits:>6.1f} "
+              f"{prd:>6.1f}")
+
+    print("\n(ratio = 16-bit raw samples vs transmitted bits; the paper's "
+          "CS stage alone is 2x, Huffman adds the rest)")
+
+
+if __name__ == "__main__":
+    main()

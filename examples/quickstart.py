@@ -1,0 +1,39 @@
+"""Quickstart: run the paper's benchmark on the proposed architecture.
+
+Builds the CS + Huffman reference benchmark (8 ECG leads, one per core),
+executes it cycle-accurately on ulpmc-bank, verifies the outputs against
+the golden Python models, and prints the headline statistics.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.kernels import BenchmarkSpec, build_benchmark, verify_result
+from repro.platform import build_platform
+
+
+def main() -> None:
+    # The paper's geometry: 512 samples/block at 250 Hz, 50% compression.
+    built = build_benchmark(BenchmarkSpec(huffman_private=True))
+    print(f"program:        {built.program_bytes} bytes "
+          f"({len(built.benchmark.program)} instructions)")
+    print(f"read-only data: {built.memmap.read_only_bytes} bytes "
+          "(CS vector + Huffman LUTs)")
+    print(f"working data:   {built.memmap.working_bytes} bytes per core")
+    print()
+
+    for arch in ("mc-ref", "ulpmc-int", "ulpmc-bank"):
+        system = build_platform(arch)
+        result = system.run(built.benchmark)
+        verify_result(built, result)  # bit-exact against the golden model
+        print(f"--- {arch} ---")
+        print(result.stats.summary())
+        print()
+
+    lead0 = built.golden[0]
+    bits_in = 16 * len(lead0.samples)
+    print(f"lead 0: {bits_in} sample bits -> {lead0.total_bits} coded "
+          f"bits ({bits_in / lead0.total_bits:.1f}x end-to-end)")
+
+
+if __name__ == "__main__":
+    main()

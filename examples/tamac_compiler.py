@@ -1,0 +1,102 @@
+"""Developing a biosignal kernel in TamaC (the paper's custom C compiler).
+
+The paper's toolchain includes "a custom C compiler ... for easier
+benchmark development" (Section IV-A).  This example writes a simple QRS
+(heart-beat) detector in TamaC — squared-difference energy with an
+adaptive threshold — compiles it, and runs the same image on all eight
+cores of the proposed platform, each core scanning its own ECG lead.
+
+Run:  python examples/tamac_compiler.py
+"""
+
+import numpy as np
+
+from repro.biosignal.ecg import generate_leads
+from repro.memory.layout import PRIVATE_BASE
+from repro.platform import Benchmark, build_platform
+from repro.tamarisc.program import DataImage
+from repro.tamarisc.tamac import compile_program
+
+N_SAMPLES = 500
+
+# Globals land right after the compiler's own allocations; we reserve the
+# sample buffer explicitly as a TamaC array so the compiler knows it.
+SOURCE = f"""
+var samples[{N_SAMPLES}];
+var n_beats;
+var threshold;
+
+func energy(i) {{
+    var d;
+    d = samples[i] - samples[i - 1];
+    return d * d;
+}}
+
+func main() {{
+    var i;
+    var e;
+    var refractory;
+
+    // Calibrate: threshold = half of the peak slope energy.
+    threshold = 0;
+    i = 1;
+    while (i < {N_SAMPLES}) {{
+        e = energy(i) >> 4;
+        if (e > threshold) {{ threshold = e; }}
+        i = i + 1;
+    }}
+    threshold = threshold >> 1;
+
+    // Detect: rising energy above threshold, 50-sample refractory.
+    n_beats = 0;
+    refractory = 0;
+    i = 1;
+    while (i < {N_SAMPLES}) {{
+        e = energy(i) >> 4;
+        if (refractory > 0) {{ refractory = refractory - 1; }}
+        else {{
+            if (e > threshold) {{
+                n_beats = n_beats + 1;
+                refractory = 50;
+            }}
+        }}
+        i = i + 1;
+    }}
+    return;
+}}
+"""
+
+
+def main() -> None:
+    compiled = compile_program(SOURCE)
+    print(f"compiled {len(compiled.program)} instructions "
+          f"({compiled.program.size_bytes} bytes), "
+          f"{compiled.words_used} data words")
+    print("--- generated assembly (head) ---")
+    print("\n".join(compiled.asm.splitlines()[:12]))
+    print("...\n")
+
+    leads = generate_leads(n_leads=8, n_samples=N_SAMPLES, seed=11)
+    data = DataImage()
+    samples_base = compiled.address_of("samples")
+    for core in range(8):
+        data.set_private_block(core, samples_base,
+                               [int(v) for v in leads[core]])
+
+    system = build_platform("ulpmc-bank")
+    stats = system.run(Benchmark("qrs-tamac", compiled.program,
+                                 data)).stats
+    print(f"{'core':>4} {'beats':>6}   (2 s of ECG at ~72 bpm -> expect "
+          "2-4 beats)")
+    beats_addr = compiled.address_of("n_beats")
+    for core in range(8):
+        beats = system.read_logical(core, beats_addr)
+        print(f"{core:>4} {beats:>6}")
+    print(f"\n{stats.total_cycles} cycles; IM accesses "
+          f"{stats.im_bank_accesses} for {stats.im_fetches} fetches "
+          f"({100 * (1 - stats.im_bank_accesses / stats.im_fetches):.0f}% "
+          "saved by instruction broadcast even for compiled code)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The offline environment ships setuptools but not ``wheel``; keeping a
+``setup.py`` (and no ``[build-system]`` table in ``pyproject.toml``) lets
+``pip install -e .`` use the legacy editable path that works without
+network access.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,36 @@
+"""repro — reproduction of Dogan et al., *Multi-Core Architecture Design for
+Ultra-Low-Power Wearable Health Monitoring Systems* (DATE 2012).
+
+The package provides, built from scratch:
+
+* :mod:`repro.tamarisc` — the TamaRISC custom 16-bit RISC core: ISA,
+  24-bit instruction encoding, assembler/disassembler, and a cycle-accurate
+  core model with three memory ports.
+* :mod:`repro.memory` — multi-banked instruction/data memories, power
+  gating, and the PID-based MMU of the proposed architecture.
+* :mod:`repro.interconnect` — Mesh-of-Trees crossbar interconnects with
+  round-robin arbitration and read broadcast.
+* :mod:`repro.platform` — the three evaluated 8-core platforms
+  (``mc-ref``, ``ulpmc-int``, ``ulpmc-bank``) and the cycle-stepped
+  multi-core simulator.
+* :mod:`repro.power` — the calibrated 90 nm low-leakage technology,
+  power, area and DVFS models used for all paper figures.
+* :mod:`repro.biosignal` — synthetic multi-lead ECG, sparse-binary
+  compressed sensing (with OMP reconstruction) and canonical Huffman coding.
+* :mod:`repro.kernels` — the actual TamaRISC assembly benchmark (CS +
+  Huffman, one ECG lead per core) executed on the simulated platforms.
+* :mod:`repro.experiments` — one module per paper table/figure.
+
+Quickstart::
+
+    from repro.platform import build_platform
+    from repro.kernels import build_benchmark
+
+    bench = build_benchmark(seed=1)
+    result = build_platform("ulpmc-bank").run(bench)
+    print(result.stats.total_cycles)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

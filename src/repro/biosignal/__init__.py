@@ -1,0 +1,45 @@
+"""Biosignal processing: the application domain of the paper.
+
+The reference benchmark is real-time multi-lead ECG compression:
+compressed sensing (50 % compression of 512-sample blocks sampled at
+250 Hz) followed by Huffman coding, running one lead per core.
+
+* :mod:`repro.biosignal.ecg` — synthetic multi-lead ECG generator (the
+  clinical recordings of the paper are proprietary; see DESIGN.md §5).
+* :mod:`repro.biosignal.compressed_sensing` — sparse-binary compressed
+  sensing with the paper's 12288-byte linearly-accessed random vector,
+  plus OMP reconstruction for end-to-end validation.
+* :mod:`repro.biosignal.huffman` — length-limited canonical Huffman
+  coding with the paper's two 1024-byte lookup tables.
+* :mod:`repro.biosignal.quantize` — the measurement quantiser that maps
+  CS outputs onto the 512-symbol Huffman alphabet.
+"""
+
+from repro.biosignal.ecg import ECGGenerator, generate_leads
+from repro.biosignal.compressed_sensing import (
+    SensingMatrix,
+    cs_compress,
+    omp_reconstruct,
+    percent_rms_difference,
+)
+from repro.biosignal.huffman import HuffmanCode, HuffmanEncoder, HuffmanDecoder
+from repro.biosignal.quantize import (
+    quantize_measurement,
+    dequantize_symbol,
+    NUM_SYMBOLS,
+)
+
+__all__ = [
+    "ECGGenerator",
+    "generate_leads",
+    "SensingMatrix",
+    "cs_compress",
+    "omp_reconstruct",
+    "percent_rms_difference",
+    "HuffmanCode",
+    "HuffmanEncoder",
+    "HuffmanDecoder",
+    "quantize_measurement",
+    "dequantize_symbol",
+    "NUM_SYMBOLS",
+]

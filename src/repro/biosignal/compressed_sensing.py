@@ -1,0 +1,170 @@
+"""Compressed sensing with a sparse binary sensing matrix.
+
+The paper's CS stage (after Mamaghanian et al., TBME 2011) compresses a
+512-sample ECG block to 256 measurements (50 %) using a random sensing
+matrix stored as a 12288-byte read-only vector with a **linear access
+pattern** and a program flow independent of the input data.
+
+We realise this as the sparse binary ±1 matrices standard for embedded CS:
+every input sample contributes to exactly ``entries_per_column = 12``
+measurement rows with a random sign.  The matrix is stored *packed* as one
+16-bit LUT entry per (row, sign) pair::
+
+    entry = (row << 1) | sign        # sign 1 means subtract
+
+laid out column-major, so the kernel streams it strictly linearly:
+512 columns x 12 entries = 6144 words = 12288 bytes — exactly the paper's
+CS random vector footprint.
+
+Because the TamaRISC datapath is 16-bit, the golden model accumulates with
+16-bit wrap-around, bit-identical to the kernel.  (With 12-bit ECG inputs
+and 12 entries per column, overflow is statistically negligible; the
+reconstruction demo measures its effect end to end.)
+
+For end-to-end validation the module also provides Orthogonal Matching
+Pursuit reconstruction in a DCT sparsity basis and the PRD
+(percentage-RMS-difference) quality metric used in the ECG compression
+literature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.fft import idct
+
+from repro.errors import ConfigurationError
+
+#: Paper block geometry: 512 samples in, 256 measurements out (50 %).
+BLOCK_SAMPLES = 512
+BLOCK_MEASUREMENTS = 256
+#: Non-zeros per input column; chosen so the packed LUT is exactly
+#: 512 * 12 * 2 B = 12288 B, the paper's CS random-vector size.
+ENTRIES_PER_COLUMN = 12
+
+
+@dataclass(frozen=True)
+class SensingMatrix:
+    """A packed sparse-binary sensing matrix."""
+
+    n_input: int
+    n_output: int
+    entries_per_column: int
+    lut: tuple  # packed (row << 1 | sign) entries, column-major
+
+    @classmethod
+    def generate(cls, n_input: int = BLOCK_SAMPLES,
+                 n_output: int = BLOCK_MEASUREMENTS,
+                 entries_per_column: int = ENTRIES_PER_COLUMN,
+                 seed: int = 0) -> "SensingMatrix":
+        """Draw a random matrix: distinct rows per column, random signs."""
+        if entries_per_column > n_output:
+            raise ConfigurationError(
+                "cannot place more entries than measurement rows")
+        rng = np.random.default_rng(seed)
+        lut = []
+        for _ in range(n_input):
+            rows = rng.choice(n_output, size=entries_per_column,
+                              replace=False)
+            signs = rng.integers(0, 2, size=entries_per_column)
+            lut.extend(int(row) << 1 | int(sign)
+                       for row, sign in zip(np.sort(rows), signs))
+        return cls(n_input=n_input, n_output=n_output,
+                   entries_per_column=entries_per_column, lut=tuple(lut))
+
+    # -- geometry -----------------------------------------------------------
+
+    @property
+    def lut_words(self) -> int:
+        return len(self.lut)
+
+    @property
+    def lut_bytes(self) -> int:
+        """12288 B for the paper's geometry."""
+        return 2 * self.lut_words
+
+    def to_dense(self) -> np.ndarray:
+        """The equivalent dense ±1/0 matrix, shape (n_output, n_input)."""
+        phi = np.zeros((self.n_output, self.n_input))
+        for column in range(self.n_input):
+            base = column * self.entries_per_column
+            for entry in self.lut[base:base + self.entries_per_column]:
+                row, sign = entry >> 1, entry & 1
+                phi[row, column] = -1.0 if sign else 1.0
+        return phi
+
+
+def cs_compress(matrix: SensingMatrix, samples) -> list[int]:
+    """Golden-model compression, bit-identical to the TamaRISC kernel.
+
+    ``samples``: ``n_input`` integers (two's-complement 16-bit range).
+    Returns ``n_output`` 16-bit measurement words (wrap-around
+    accumulation, like the 16-bit core).
+    """
+    if len(samples) != matrix.n_input:
+        raise ValueError(
+            f"expected {matrix.n_input} samples, got {len(samples)}")
+    y = [0] * matrix.n_output
+    lut = matrix.lut
+    k = matrix.entries_per_column
+    for column, sample in enumerate(samples):
+        value = int(sample) & 0xFFFF
+        for entry in lut[column * k:(column + 1) * k]:
+            row, sign = entry >> 1, entry & 1
+            if sign:
+                y[row] = (y[row] - value) & 0xFFFF
+            else:
+                y[row] = (y[row] + value) & 0xFFFF
+    return y
+
+
+def measurements_to_signed(y_words) -> np.ndarray:
+    """Interpret 16-bit measurement words as signed integers."""
+    y = np.asarray(y_words, dtype=np.int64) & 0xFFFF
+    return np.where(y >= 0x8000, y - 0x10000, y)
+
+
+def omp_reconstruct(y, matrix: SensingMatrix, sparsity: int = 48,
+                    tol: float = 1e-9) -> np.ndarray:
+    """Orthogonal Matching Pursuit reconstruction in a DCT basis.
+
+    Solves ``y ~ Phi Psi s`` for a ``sparsity``-sparse coefficient vector
+    ``s`` and returns ``x_hat = Psi s``.  This is the off-node
+    reconstruction counterpart of the on-node compression — the paper's
+    node only compresses; reconstruction happens at the receiver.
+    """
+    y = np.asarray(y, dtype=float)
+    phi = matrix.to_dense()
+    # Psi: orthonormal inverse-DCT basis (columns are basis vectors).
+    psi = idct(np.eye(matrix.n_input), norm="ortho", axis=0)
+    sensing = phi @ psi
+    norms = np.linalg.norm(sensing, axis=0)
+    norms[norms == 0] = 1.0
+
+    residual = y.copy()
+    support: list[int] = []
+    for _ in range(min(sparsity, matrix.n_output)):
+        correlations = np.abs(sensing.T @ residual) / norms
+        if support:
+            correlations[support] = -1.0
+        atom = int(np.argmax(correlations))
+        support.append(atom)
+        subset = sensing[:, support]
+        coefficients, *_ = np.linalg.lstsq(subset, y, rcond=None)
+        residual = y - subset @ coefficients
+        if np.linalg.norm(residual) <= tol * max(np.linalg.norm(y), 1.0):
+            break
+    s = np.zeros(matrix.n_input)
+    s[support] = coefficients
+    return psi @ s
+
+
+def percent_rms_difference(original, reconstructed) -> float:
+    """PRD: the standard ECG compression quality metric, in percent."""
+    original = np.asarray(original, dtype=float)
+    reconstructed = np.asarray(reconstructed, dtype=float)
+    denom = np.linalg.norm(original)
+    if denom == 0:
+        raise ValueError("original signal is identically zero")
+    return 100.0 * np.linalg.norm(original - reconstructed) / denom

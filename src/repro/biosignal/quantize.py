@@ -1,0 +1,39 @@
+"""Measurement quantiser shared by the golden model and the kernel.
+
+The Huffman stage encodes CS measurements through a 512-symbol alphabet
+(the paper's two 1024-byte LUTs hold 512 16-bit entries each).  The
+quantiser below is exactly what the TamaRISC kernel computes, bit for bit:
+
+    s = clamp(((y XOR 0x8000) >> 4) - 1792, 0, 511)
+
+``y XOR 0x8000`` rebiases a two's-complement 16-bit value into unsigned
+order (the core has no arithmetic right shift), the logical ``>> 4``
+quantises to 16-count steps, and the subtraction centres symbol 256 on
+``y == 0``.  Measurements outside ±4096 saturate to the edge symbols.
+"""
+
+from __future__ import annotations
+
+#: Size of the Huffman alphabet (two 512-entry LUTs -> 1024 B each).
+NUM_SYMBOLS = 512
+
+#: Quantisation step in measurement counts.
+STEP = 16
+
+
+def quantize_measurement(y: int) -> int:
+    """Map a 16-bit CS measurement (two's complement) to a symbol 0..511."""
+    biased = (y & 0xFFFF) ^ 0x8000
+    symbol = (biased >> 4) - 1792
+    if symbol < 0:
+        return 0
+    if symbol >= NUM_SYMBOLS:
+        return NUM_SYMBOLS - 1
+    return symbol
+
+
+def dequantize_symbol(symbol: int) -> int:
+    """Mid-tread reconstruction of a measurement from its symbol."""
+    if not 0 <= symbol < NUM_SYMBOLS:
+        raise ValueError(f"symbol {symbol} outside 0..{NUM_SYMBOLS - 1}")
+    return (symbol - 256) * STEP + STEP // 2

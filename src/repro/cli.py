@@ -1,0 +1,51 @@
+"""Command-line driver: ``repro-experiment <id ...|all> [--csv]``.
+
+Prints the reproduced table/figure data and the paper-vs-measured
+comparisons for each requested experiment.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from repro.experiments import EXPERIMENTS
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiment",
+        description="Reproduce tables/figures of Dogan et al., DATE 2012.")
+    parser.add_argument(
+        "experiments", nargs="+",
+        help=f"experiment ids ({', '.join(EXPERIMENTS)}) or 'all'")
+    parser.add_argument("--csv", action="store_true",
+                        help="emit raw CSV instead of formatted text")
+    parser.add_argument("--output", metavar="DIR", default=None,
+                        help="also write one CSV per experiment into DIR")
+    args = parser.parse_args(argv)
+
+    requested = list(EXPERIMENTS) if "all" in args.experiments \
+        else args.experiments
+    unknown = [name for name in requested if name not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiments: {', '.join(unknown)}")
+
+    output_dir = None
+    if args.output is not None:
+        output_dir = pathlib.Path(args.output)
+        output_dir.mkdir(parents=True, exist_ok=True)
+
+    for name in requested:
+        result = EXPERIMENTS[name].run()
+        print(result.to_csv() if args.csv else result.to_text())
+        print()
+        if output_dir is not None:
+            path = output_dir / f"{name}.csv"
+            path.write_text(result.to_csv() + "\n", encoding="utf-8")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,34 @@
+"""Exception hierarchy for the repro package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class EncodingError(ReproError):
+    """An instruction cannot be encoded into (or decoded from) 24 bits."""
+
+
+class AssemblerError(ReproError):
+    """Assembly source is malformed.
+
+    Carries the offending source line number when available.
+    """
+
+    def __init__(self, message, line=None):
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class SimulationError(ReproError):
+    """The simulated machine reached an illegal state (bad address, ...)."""
+
+
+class ConfigurationError(ReproError):
+    """A platform / memory-layout configuration is inconsistent."""
+
+
+class CalibrationError(ReproError):
+    """A power/technology calibration failed to meet its anchor points."""

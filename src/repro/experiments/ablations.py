@@ -1,0 +1,69 @@
+"""Feature ablations — DESIGN.md §8 extension study.
+
+The paper's mechanism chain (Sections III-C/D, IV-C2) is: the DM
+organisation plus data broadcast keep the cores synchronised; only then
+does instruction broadcast collapse eight fetches into one IM access; and
+only the banked IM organisation can power-gate.  This experiment switches
+each mechanism off in turn on the full-geometry benchmark and measures
+what each contributes to cycles, IM activity and IM dynamic power.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import Comparison, ExperimentResult
+from repro.power.calibration import calibrated_set, reference_results
+
+#: (label, reference_results kwargs)
+CONFIGS = (
+    ("full design, private Huffman LUTs",
+     {"huffman_private": True}),
+    ("Huffman LUTs in the shared section",
+     {"huffman_private": False}),
+    ("no data broadcast",
+     {"huffman_private": False, "data_broadcast": False}),
+    ("no instruction broadcast",
+     {"huffman_private": False, "instr_broadcast": False}),
+    ("no broadcast at all",
+     {"huffman_private": False, "data_broadcast": False,
+      "instr_broadcast": False}),
+)
+
+
+def run() -> ExperimentResult:
+    cal = calibrated_set()
+    im_energy = cal.energies.im_access
+
+    result = ExperimentResult(
+        exp_id="ablations",
+        title="Mechanism ablations on ulpmc-bank (extension study)",
+        headers=["configuration", "cycles", "IM accesses", "sync %",
+                 "IM power @8MOps [mW]", "vs full design"],
+    )
+    baseline_cycles = None
+    im_power = {}
+    for label, kwargs in CONFIGS:
+        __, results = reference_results(**kwargs)
+        stats = results["ulpmc-bank"].stats
+        frequency = 8e6 / (cal.ops_per_block / stats.total_cycles)
+        power_mw = im_energy * stats.im_bank_accesses \
+            / stats.total_cycles * frequency * 1e3
+        im_power[label] = power_mw
+        if baseline_cycles is None:
+            baseline_cycles = stats.total_cycles
+        result.rows.append([
+            label, stats.total_cycles, stats.im_bank_accesses,
+            round(100 * stats.sync_fraction, 1),
+            round(power_mw, 4),
+            round(stats.total_cycles / baseline_cycles, 3),
+        ])
+
+    full = im_power[CONFIGS[0][0]]
+    none = im_power[CONFIGS[3][0]]
+    result.comparisons.append(Comparison(
+        metric="IM power reduction, full design vs no instr broadcast",
+        paper=86.0, measured=100 * (1 - full / none), unit="%",
+        note="paper Table II: 86% IM power reduction"))
+    result.notes.append(
+        "extension beyond the paper: only the 86% endpoint is published; "
+        "the intermediate rows quantify each mechanism's contribution")
+    return result

@@ -1,0 +1,92 @@
+"""Shared experiment plumbing: result containers and text rendering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: The three architectures in paper order.
+ARCHES = ("mc-ref", "ulpmc-int", "ulpmc-bank")
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """One paper-value-vs-measured-value check."""
+
+    metric: str
+    paper: float
+    measured: float
+    unit: str = ""
+    note: str = ""
+
+    @property
+    def relative_error(self) -> float:
+        if self.paper == 0:
+            return abs(self.measured)
+        return abs(self.measured - self.paper) / abs(self.paper)
+
+    def render(self) -> str:
+        text = (f"{self.metric:<46s} paper {self.paper:>10.4g} "
+                f"ours {self.measured:>10.4g} {self.unit:<8s}"
+                f" ({100 * self.relative_error:5.1f}% off)")
+        if self.note:
+            text += f"  [{self.note}]"
+        return text
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one experiment: a table plus paper comparisons."""
+
+    exp_id: str
+    title: str
+    headers: list[str]
+    rows: list[list] = field(default_factory=list)
+    comparisons: list[Comparison] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def _format_cell(self, value) -> str:
+        if isinstance(value, float):
+            return f"{value:.6g}"
+        return str(value)
+
+    def to_text(self) -> str:
+        lines = [f"== {self.exp_id}: {self.title} =="]
+        if self.rows:
+            table = [self.headers] + [[self._format_cell(cell)
+                                       for cell in row]
+                                      for row in self.rows]
+            widths = [max(len(row[col]) for row in table)
+                      for col in range(len(self.headers))]
+            for index, row in enumerate(table):
+                lines.append("  " + "  ".join(
+                    cell.rjust(width) for cell, width in zip(row, widths)))
+                if index == 0:
+                    lines.append("  " + "  ".join("-" * w for w in widths))
+        if self.comparisons:
+            lines.append("")
+            lines.append("  paper vs measured:")
+            lines.extend("    " + comparison.render()
+                         for comparison in self.comparisons)
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        out = [",".join(self.headers)]
+        out.extend(",".join(self._format_cell(cell) for cell in row)
+                   for row in self.rows)
+        return "\n".join(out)
+
+    def max_relative_error(self) -> float:
+        if not self.comparisons:
+            return 0.0
+        return max(c.relative_error for c in self.comparisons)
+
+
+def fmt_power(watts: float) -> str:
+    """Human-readable power."""
+    if watts >= 1e-1:
+        return f"{watts:.3g} W"
+    if watts >= 1e-4:
+        return f"{watts * 1e3:.3g} mW"
+    return f"{watts * 1e6:.3g} uW"

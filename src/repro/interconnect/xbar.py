@@ -1,0 +1,160 @@
+"""Cycle-level crossbar with read broadcast and per-bank round-robin.
+
+The crossbar arbitrates one cycle's worth of requests: every bank serves at
+most one *access* per cycle, but a read access can be **broadcast** — all
+masters reading the same (bank, offset) are granted together at the cost of
+a single bank access and with no extra cycles (paper Section III-B).
+Masters that lose arbitration stall (they are clock-gated by the platform)
+and reissue next cycle.
+
+The same class models both crossbars:
+
+* I-Xbar — all requests are instruction reads; broadcast is the paper's
+  instruction-broadcast mechanism.
+* D-Xbar — read and write requests; writes never merge.  A core has
+  separate data-read and data-write ports (the TamaRISC three-port
+  interface), so one master may place one read *and* one write per cycle;
+  they arbitrate independently, and a read and a write of the same core
+  landing in the same single-ported bank serialise like any other
+  conflict.
+
+Statistics collected here feed the power model directly (bank accesses,
+broadcast savings, and per-master bank-transition counts that model
+output-net switching activity on the instruction path, which is why the
+ulpmc-bank organisation spends less crossbar and core power than
+ulpmc-int — Table II's last paragraph).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.interconnect.arbiter import RoundRobinArbiter
+
+
+@dataclass(frozen=True)
+class Request:
+    """One master port's request for this cycle.
+
+    ``grant_key`` (``(master, write)``) identifies the port across the
+    arbitration result.
+    """
+
+    master: int
+    bank: int
+    offset: int
+    write: bool = False
+
+    @property
+    def grant_key(self) -> tuple[int, bool]:
+        return (self.master, self.write)
+
+
+@dataclass
+class XbarStats:
+    """Aggregate crossbar activity."""
+
+    #: bank accesses actually performed (after broadcast merging)
+    bank_accesses: int = 0
+    #: words transferred for masters (= granted requests)
+    deliveries: int = 0
+    #: accesses saved by broadcast (granted requests minus bank accesses)
+    broadcast_savings: int = 0
+    #: bank-cycles in which a broadcast (>=2-way merge) happened
+    broadcasts: int = 0
+    #: requests stalled by losing arbitration
+    stalls: int = 0
+    #: bank-cycles with conflicting (non-mergeable) requests
+    conflict_events: int = 0
+    #: per-master count of granted accesses whose bank differs from the
+    #: master's previously granted bank (output-net switching proxy)
+    bank_transitions: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def total_bank_transitions(self) -> int:
+        return sum(self.bank_transitions.values())
+
+
+class Crossbar:
+    """N-master, B-bank single-cycle crossbar."""
+
+    def __init__(self, masters: int, banks: int, broadcast: bool = True,
+                 name: str = "xbar"):
+        self.name = name
+        self.masters = masters
+        self.banks = banks
+        self.broadcast = broadcast
+        self.arbiters = [RoundRobinArbiter(masters) for _ in range(banks)]
+        self.stats = XbarStats()
+        self._last_bank = [None] * masters
+
+    def arbitrate(self, requests: list[Request]) -> set[tuple[int, bool]]:
+        """Arbitrate one cycle of requests.
+
+        Returns the granted ``(master, write)`` port keys.  A master may
+        issue at most one read and one write per cycle; duplicates raise.
+        """
+        if not requests:
+            return set()
+        seen: set[tuple[int, bool]] = set()
+        by_bank: dict[int, list[Request]] = {}
+        for request in requests:
+            key = request.grant_key
+            if key in seen:
+                raise ValueError(
+                    f"master {request.master} issued two "
+                    f"{'writes' if request.write else 'reads'} to "
+                    f"{self.name} in one cycle")
+            seen.add(key)
+            by_bank.setdefault(request.bank, []).append(request)
+
+        granted: set[tuple[int, bool]] = set()
+        stats = self.stats
+        for bank, bank_requests in by_bank.items():
+            winners = self._arbitrate_bank(bank, bank_requests)
+            for request in winners:
+                granted.add(request.grant_key)
+                last = self._last_bank[request.master]
+                if last is not None and last != bank:
+                    transitions = stats.bank_transitions
+                    transitions[request.master] = \
+                        transitions.get(request.master, 0) + 1
+                self._last_bank[request.master] = bank
+            stats.deliveries += len(winners)
+            stats.bank_accesses += 1
+            if len(winners) > 1:
+                stats.broadcasts += 1
+                stats.broadcast_savings += len(winners) - 1
+            stats.stalls += len(bank_requests) - len(winners)
+        return granted
+
+    def _arbitrate_bank(self, bank: int, bank_requests: list[Request]):
+        """Pick this cycle's winners for one bank (one access, maybe merged)."""
+        if len(bank_requests) == 1:
+            return bank_requests
+        # Group mergeable reads: same offset, read, broadcast enabled.
+        groups: dict[tuple, list[Request]] = {}
+        for request in bank_requests:
+            if self.broadcast and not request.write:
+                key = (False, request.offset)
+            else:
+                key = (True, request.master, request.write)
+            groups.setdefault(key, []).append(request)
+        if len(groups) == 1:
+            return bank_requests
+        self.stats.conflict_events += 1
+        winner = self.arbiters[bank].grant(
+            {request.master for request in bank_requests})
+        # The winning master may have both a read and a write here; serve
+        # the read first (the instruction cannot commit without it anyway).
+        candidates = [group for group in groups.values()
+                      if any(r.master == winner for r in group)]
+        candidates.sort(key=lambda group: any(r.write and r.master == winner
+                                              for r in group))
+        return candidates[0]
+
+    def reset(self) -> None:
+        for arbiter in self.arbiters:
+            arbiter.reset()
+        self.stats = XbarStats()
+        self._last_bank = [None] * self.masters

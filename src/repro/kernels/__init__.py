@@ -1,0 +1,36 @@
+"""The reference benchmark: CS + Huffman coding in TamaRISC assembly.
+
+This package builds the actual program the simulated platforms execute —
+the paper's "real-time multi-lead ECG processing application" with one
+core per lead:
+
+* :mod:`repro.kernels.memmap` — the logical memory map (CS random vector
+  and Huffman LUTs in the shared section, samples/measurements/bitstream
+  in each core's private window).
+* :mod:`repro.kernels.source` — the assembly source generator for the
+  combined CS + Huffman kernel.
+* :mod:`repro.kernels.benchmark` — ties ECG data, sensing matrix, Huffman
+  tables and program together into a loadable
+  :class:`~repro.platform.multicore.Benchmark`, with the golden-model
+  expected outputs attached for verification.
+"""
+
+from repro.kernels.memmap import BenchmarkMemoryMap
+from repro.kernels.source import kernel_source
+from repro.kernels.benchmark import (
+    BenchmarkSpec,
+    BuiltBenchmark,
+    build_benchmark,
+    build_block_series,
+    verify_result,
+)
+
+__all__ = [
+    "BenchmarkMemoryMap",
+    "kernel_source",
+    "BenchmarkSpec",
+    "BuiltBenchmark",
+    "build_benchmark",
+    "build_block_series",
+    "verify_result",
+]

@@ -1,0 +1,135 @@
+"""Logical memory map of the reference benchmark.
+
+Shared section (read-only data, paper Section II: 14336 bytes):
+
+========================  =============================  ==========
+object                    size (paper geometry)          placement
+========================  =============================  ==========
+CS random vector          512 x 12 words = 12288 B       shared, linear access
+Huffman code LUT          512 words     =  1024 B        shared (or private copies)
+Huffman length LUT        512 words     =  1024 B        shared (or private copies)
+========================  =============================  ==========
+
+Private window per core (working data):
+
+========================  =============================
+input samples X           512 words = 1024 B
+CS measurements Y         256 words =  512 B
+output bitstream          1 + 256 words (bit count + words)
+Huffman LUT copies        2 x 512 words (private-LUT variant only)
+========================  =============================
+
+The private-LUT variant reproduces the paper's Section IV-C2 experiment
+where the data-dependent Huffman LUTs are moved into the private section
+to remove shared-bank conflicts (at the cost of replicating 2 kB per
+core).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.biosignal.quantize import NUM_SYMBOLS
+from repro.errors import ConfigurationError
+from repro.memory.layout import DataMemoryLayout, PRIVATE_BASE
+
+
+@dataclass(frozen=True)
+class BenchmarkMemoryMap:
+    """Word addresses of every benchmark object (logical address space)."""
+
+    n_samples: int = 512
+    n_measurements: int = 256
+    entries_per_column: int = 12
+    huffman_private: bool = False
+
+    # -- shared section ----------------------------------------------------------
+
+    @property
+    def cs_lut(self) -> int:
+        return 0
+
+    @property
+    def cs_lut_words(self) -> int:
+        return self.n_samples * self.entries_per_column
+
+    @property
+    def code_lut_shared(self) -> int:
+        return self.cs_lut + self.cs_lut_words
+
+    @property
+    def len_lut_shared(self) -> int:
+        return self.code_lut_shared + NUM_SYMBOLS
+
+    @property
+    def shared_words_used(self) -> int:
+        if self.huffman_private:
+            return self.cs_lut_words
+        return self.cs_lut_words + 2 * NUM_SYMBOLS
+
+    # -- private window -----------------------------------------------------------
+
+    @property
+    def x_base(self) -> int:
+        return PRIVATE_BASE
+
+    @property
+    def y_base(self) -> int:
+        return self.x_base + self.n_samples
+
+    @property
+    def out_base(self) -> int:
+        """Word 0: total bit count; words 1..: the packed bitstream."""
+        return self.y_base + self.n_measurements
+
+    @property
+    def out_words(self) -> int:
+        return 1 + self.n_measurements  # worst case ~15/16 bits per symbol
+
+    @property
+    def code_lut_private(self) -> int:
+        return self.out_base + self.out_words
+
+    @property
+    def len_lut_private(self) -> int:
+        return self.code_lut_private + NUM_SYMBOLS
+
+    @property
+    def code_lut(self) -> int:
+        """The LUT base the kernel actually uses."""
+        return self.code_lut_private if self.huffman_private \
+            else self.code_lut_shared
+
+    @property
+    def len_lut(self) -> int:
+        return self.len_lut_private if self.huffman_private \
+            else self.len_lut_shared
+
+    @property
+    def private_words_used(self) -> int:
+        used = self.n_samples + self.n_measurements + self.out_words
+        if self.huffman_private:
+            used += 2 * NUM_SYMBOLS
+        return used
+
+    # -- byte accounting (paper Section II) ---------------------------------------
+
+    @property
+    def read_only_bytes(self) -> int:
+        """Paper: 14336 B (12288 B CS vector + 2 x 1024 B Huffman LUTs)."""
+        return 2 * (self.cs_lut_words + 2 * NUM_SYMBOLS)
+
+    @property
+    def working_bytes(self) -> int:
+        return 2 * self.private_words_used
+
+    def validate(self, layout: DataMemoryLayout) -> None:
+        """Check the map fits the platform's configured section sizes."""
+        if self.shared_words_used > layout.shared_words:
+            raise ConfigurationError(
+                f"shared data ({self.shared_words_used} words) exceeds the "
+                f"{layout.shared_words}-word shared section")
+        if self.private_words_used > layout.private_words_per_core:
+            raise ConfigurationError(
+                f"private data ({self.private_words_used} words) exceeds "
+                f"the {layout.private_words_per_core}-word private window")

@@ -1,0 +1,155 @@
+"""TamaRISC assembly source of the CS + Huffman benchmark kernel.
+
+One program image serves all eight cores (the MMU maps the private-window
+addresses per PID), exactly as Section III-C requires for instruction
+broadcasting.  The kernel processes one 512-sample block of one ECG lead:
+
+1. clear the measurement accumulators ``y[0..255]``;
+2. **compressed sensing** — stream the packed random vector *linearly*
+   (shared reads, broadcast when the cores are synchronised) and
+   accumulate ``y[row] ±= x[j]``; the branch on the matrix sign depends
+   only on the shared LUT, so all cores take the same path and stay in
+   lockstep — the paper's "the CS part follows always the same program
+   flow independent of the input data";
+3. **Huffman coding** — quantise each measurement to a 512-symbol
+   alphabet, look up code/length in the two LUTs (data-dependent
+   indices!) and emit the code MSB-first into 16-bit words; both the
+   per-bit branch and the per-symbol code length depend on each lead's
+   private data, so the cores *lose synchronisation* here — the paper's
+   "short section of data-dependent program flow";
+4. store the total bit count and halt (the platform's wake-on-next-block
+   point in a real duty-cycled node).
+
+Output layout: ``OUT[0]`` = total bits, ``OUT[1..]`` = packed words.
+"""
+
+from __future__ import annotations
+
+from repro.biosignal.quantize import NUM_SYMBOLS
+from repro.kernels.memmap import BenchmarkMemoryMap
+
+_KERNEL_TEMPLATE = """\
+; CS + Huffman benchmark kernel (one ECG lead per core)
+.equ CS_LUT,   {cs_lut}
+.equ CODE_LUT, {code_lut}
+.equ LEN_LUT,  {len_lut}
+.equ XBASE,    {x_base}
+.equ YBASE,    {y_base}
+.equ OUTBASE,  {out_base}
+.equ NSAMP,    {n_samples}
+.equ NMEAS,    {n_measurements}
+.equ NK,       {entries_per_column}
+.equ SYMMAX,   {symbol_max}
+.equ QBIAS,    {quant_bias}
+
+start:
+    ; ---------------- clear measurement accumulators ----------------
+    li   r3, YBASE
+    li   r4, NMEAS
+    mov  r5, #0
+clr_loop:
+    mov  [r3++], r5
+    sub  r4, r4, #1
+    bne  clr_loop
+
+    ; ---------------- compressed sensing ----------------
+    li   r1, XBASE          ; x pointer (private)
+    li   r2, CS_LUT         ; packed matrix pointer (shared, linear)
+    li   r3, YBASE          ; y base (private)
+    li   r4, NSAMP
+cs_outer:
+    mov  r7, [r1++]         ; xv = *x++
+    mov  r5, #NK
+cs_inner:
+    mov  r6, [r2++]         ; entry = *lut++  (row<<1 | sign)
+    srl  xr, r6, #1         ; row index -> XR
+    and  r6, r6, #1         ; sign (Z clear means subtract)
+    mov  r15, [r3+xr]       ; y[row]
+    bne  cs_sub
+    add  r15, r15, r7
+    bra  cs_store
+cs_sub:
+    sub  r15, r15, r7
+cs_store:
+    mov  [r3+xr], r15
+    sub  r5, r5, #1
+    bne  cs_inner
+    sub  r4, r4, #1
+    bne  cs_outer
+
+    ; ---------------- huffman coding ----------------
+    li   r1, YBASE          ; measurement pointer
+    li   r2, CODE_LUT
+    li   r3, LEN_LUT
+    li   r4, NMEAS
+    li   r10, OUTBASE+1     ; bitstream pointer (OUT[0] holds bit count)
+    mov  r8, #0             ; bit accumulator
+    mov  r9, #16            ; free bits in accumulator
+    li   r14, 0x8000        ; sign-bias constant
+    li   r7, QBIAS          ; quantiser offset
+    li   r0, SYMMAX         ; clamp limit
+    mov  r15, #0            ; total emitted bits
+hf_loop:
+    mov  r6, [r1++]         ; y (16-bit two's complement)
+    xor  r6, r6, r14        ; rebias to unsigned order
+    srl  r6, r6, #4         ; quantise (no arithmetic shift needed)
+    sub  r6, r6, r7         ; centre symbol 256 on y == 0
+    bge  hf_lo_ok
+    mov  r6, #0             ; saturate low
+hf_lo_ok:
+    sub  r5, r6, r0
+    ble  hf_hi_ok
+    mov  r6, r0             ; saturate high
+hf_hi_ok:
+    mov  xr, r6             ; symbol -> XR
+    mov  r11, [r2+xr]       ; code, left-aligned   (data-dependent index)
+    mov  r12, [r3+xr]       ; code length (1..15)
+    add  r15, r15, r12
+    ; word-wise emit: the accumulator keeps its filled bits left-aligned
+    ; and r9 counts free bits (1..16).
+    mov  r5, #16
+    sub  r5, r5, r9         ; bits already used
+    srl  r6, r11, r5        ; align the code after the filled bits
+    or   r8, r8, r6
+    sub  r9, r9, r12        ; free bits -= code length
+    bgt  hf_next            ; still room -> next symbol
+    mov  [r10++], r8        ; word completed: store it
+    mov  r6, #16
+    sub  r5, r6, r5         ; old free-bit count (= consumed code bits)
+    sll  r8, r11, r5        ; carry the unconsumed code bits, left-aligned
+    add  r9, r9, r6         ; free bits += 16
+hf_next:
+    sub  r4, r4, #1
+    bne  hf_loop
+
+    ; ---------------- flush and finish ----------------
+    mov  r5, #16
+    sub  r5, r5, r9
+    beq  hf_flushed         ; accumulator empty
+    mov  [r10++], r8        ; partial word is already left-aligned
+hf_flushed:
+    li   r10, OUTBASE
+    mov  [r10], r15         ; OUT[0] = total bit count
+    hlt
+"""
+
+
+def kernel_source(memmap: BenchmarkMemoryMap) -> str:
+    """Render the kernel for a concrete memory map / block geometry."""
+    if memmap.entries_per_column > 2047:
+        raise ValueError(
+            "inner-loop count is an 11-bit move immediate; "
+            "entries_per_column must be <= 2047")
+    return _KERNEL_TEMPLATE.format(
+        cs_lut=memmap.cs_lut,
+        code_lut=memmap.code_lut,
+        len_lut=memmap.len_lut,
+        x_base=memmap.x_base,
+        y_base=memmap.y_base,
+        out_base=memmap.out_base,
+        n_samples=memmap.n_samples,
+        n_measurements=memmap.n_measurements,
+        entries_per_column=memmap.entries_per_column,
+        symbol_max=NUM_SYMBOLS - 1,
+        quant_bias=2048 - NUM_SYMBOLS // 2,
+    )

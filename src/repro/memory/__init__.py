@@ -1,0 +1,27 @@
+"""Multi-banked memories, address layouts and the PID-based MMU.
+
+The data memory of both evaluated architectures is 64 kB in 16 banks behind
+the data crossbar; the instruction memory is 96 kB in 8 banks (private
+per-core banks in *mc-ref*, shared behind the instruction crossbar in the
+proposed architecture).  Section III-C/D of the paper defines the
+interleaved vs banked instruction mappings and the shared/private data
+sections reproduced here.
+"""
+
+from repro.memory.bank import MemoryBank
+from repro.memory.banked_memory import BankedMemory
+from repro.memory.layout import (
+    DataMemoryLayout,
+    InstructionMemoryLayout,
+    IMOrganization,
+)
+from repro.memory.mmu import MMU
+
+__all__ = [
+    "MemoryBank",
+    "BankedMemory",
+    "DataMemoryLayout",
+    "InstructionMemoryLayout",
+    "IMOrganization",
+    "MMU",
+]

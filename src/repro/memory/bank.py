@@ -1,0 +1,78 @@
+"""A single SRAM bank with access counting and power gating.
+
+Power gating (paper Section III-C) is modelled as a boolean state: a gated
+bank retains no content, contributes no leakage in the power model, and any
+access to it is a simulation error (the ulpmc-bank mapping guarantees gated
+banks are never addressed).
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.tamarisc.isa import WORD_MASK
+
+
+class MemoryBank:
+    """One single-ported memory bank of 16-bit (data) or 24-bit (instr) words."""
+
+    def __init__(self, words: int, name: str = "bank", word_mask: int = WORD_MASK):
+        if words <= 0:
+            raise ValueError("bank size must be positive")
+        self.name = name
+        self.size = words
+        self.word_mask = word_mask
+        self.storage = [0] * words
+        self.reads = 0
+        self.writes = 0
+        self.gated = False
+
+    # -- power gating ---------------------------------------------------------
+
+    def gate(self) -> None:
+        """Power-gate the bank: contents lost, accesses become errors."""
+        self.gated = True
+        self.storage = [0] * self.size
+
+    def ungate(self) -> None:
+        self.gated = False
+
+    # -- accesses ---------------------------------------------------------------
+
+    def read(self, offset: int) -> int:
+        if self.gated:
+            raise SimulationError(f"read from power-gated bank {self.name}")
+        if not 0 <= offset < self.size:
+            raise SimulationError(
+                f"offset {offset:#x} outside bank {self.name} "
+                f"({self.size} words)")
+        self.reads += 1
+        return self.storage[offset]
+
+    def write(self, offset: int, value: int) -> None:
+        if self.gated:
+            raise SimulationError(f"write to power-gated bank {self.name}")
+        if not 0 <= offset < self.size:
+            raise SimulationError(
+                f"offset {offset:#x} outside bank {self.name} "
+                f"({self.size} words)")
+        self.writes += 1
+        self.storage[offset] = value & self.word_mask
+
+    def load(self, offset: int, values) -> None:
+        """Initialise contents without touching the access counters."""
+        if self.gated:
+            raise SimulationError(f"load into power-gated bank {self.name}")
+        for index, value in enumerate(values):
+            position = offset + index
+            if not 0 <= position < self.size:
+                raise SimulationError(
+                    f"load beyond bank {self.name} at {position:#x}")
+            self.storage[position] = value & self.word_mask
+
+    @property
+    def accesses(self) -> int:
+        return self.reads + self.writes
+
+    def reset_counters(self) -> None:
+        self.reads = 0
+        self.writes = 0

@@ -1,0 +1,67 @@
+"""A multi-banked memory: a row of :class:`MemoryBank` plus bulk helpers."""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.memory.bank import MemoryBank
+
+
+class BankedMemory:
+    """N single-ported banks; addressing policy lives in the layout objects."""
+
+    def __init__(self, banks: int, bank_words: int, name: str = "mem",
+                 word_mask: int = 0xFFFF):
+        if banks <= 0:
+            raise ConfigurationError("need at least one bank")
+        self.name = name
+        self.bank_words = bank_words
+        self.banks = [
+            MemoryBank(bank_words, name=f"{name}[{index}]",
+                       word_mask=word_mask)
+            for index in range(banks)
+        ]
+
+    def __len__(self) -> int:
+        return len(self.banks)
+
+    def read(self, bank: int, offset: int) -> int:
+        return self.banks[bank].read(offset)
+
+    def write(self, bank: int, offset: int, value: int) -> None:
+        self.banks[bank].write(offset, value)
+
+    def load(self, bank: int, offset: int, values) -> None:
+        self.banks[bank].load(offset, values)
+
+    def peek(self, bank: int, offset: int) -> int:
+        """Read without counting an access (for result inspection)."""
+        return self.banks[bank].storage[offset]
+
+    def gate_unused(self, used: set[int]) -> list[int]:
+        """Power-gate every bank not in ``used``; returns the gated list."""
+        gated = []
+        for index, bank in enumerate(self.banks):
+            if index not in used:
+                bank.gate()
+                gated.append(index)
+        return gated
+
+    @property
+    def gated_banks(self) -> list[int]:
+        return [i for i, bank in enumerate(self.banks) if bank.gated]
+
+    @property
+    def total_reads(self) -> int:
+        return sum(bank.reads for bank in self.banks)
+
+    @property
+    def total_writes(self) -> int:
+        return sum(bank.writes for bank in self.banks)
+
+    @property
+    def total_accesses(self) -> int:
+        return self.total_reads + self.total_writes
+
+    def reset_counters(self) -> None:
+        for bank in self.banks:
+            bank.reset_counters()

@@ -1,0 +1,186 @@
+"""Address layouts: instruction-memory organisations and the data-memory map.
+
+Instruction memory (paper Section III-C)
+---------------------------------------
+
+96 kB of instruction memory in 8 banks of 4096 24-bit words each.  Three
+organisations:
+
+* ``PRIVATE`` (*mc-ref*): each core fetches from its own bank; every bank
+  holds a copy of the program.
+* ``INTERLEAVED`` (*ulpmc-int*): shared IM, bank selected by the **least**
+  significant PC bits — consecutive instructions rotate across banks, so
+  desynchronised cores usually hit different banks.
+* ``BANKED`` (*ulpmc-bank*): shared IM, bank selected by the **most**
+  significant PC bits — the program packs into the fewest banks and the
+  unused banks can be power-gated.
+
+Data memory (paper Section III-D)
+---------------------------------
+
+64 kB in 16 banks of 2048 16-bit words.  The *logical* (pre-MMU) address
+space seen by software has two windows whose sizes are configurable at
+"compile" time:
+
+* **shared** window at logical 0: word-interleaved across all banks
+  (logical ``a`` -> bank ``a % 16``); read-only data (CS random vector,
+  Huffman LUTs) lives here, so a linear sweep by synchronised cores
+  broadcasts, and desynchronised sweeps spread over different banks.
+* **private** window at logical ``PRIVATE_BASE``: each core's window maps,
+  via its PID, onto banks owned by that core alone (16 banks / 8 cores =
+  2 banks per core), so private accesses never conflict.
+
+Physically each bank is split: the low ``shared_words_per_bank`` offsets
+hold the interleaved shared section, the remaining offsets the private
+sections.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError, SimulationError
+
+#: Logical word address where every core's private window starts.
+PRIVATE_BASE = 0x4000
+
+
+class IMOrganization(enum.Enum):
+    """The three instruction-memory organisations evaluated in the paper."""
+
+    PRIVATE = "private"
+    INTERLEAVED = "interleaved"
+    BANKED = "banked"
+
+
+@dataclass(frozen=True)
+class InstructionMemoryLayout:
+    """Maps (core, PC) to an instruction-memory (bank, offset)."""
+
+    organization: IMOrganization
+    banks: int = 8
+    bank_words: int = 4096
+
+    def __post_init__(self):
+        if self.banks & (self.banks - 1):
+            raise ConfigurationError("IM bank count must be a power of two")
+
+    @property
+    def total_words(self) -> int:
+        return self.banks * self.bank_words
+
+    def locate(self, core: int, pc: int) -> tuple[int, int]:
+        """Physical (bank, offset) of instruction address ``pc``."""
+        if self.organization == IMOrganization.PRIVATE:
+            if pc >= self.bank_words:
+                raise SimulationError(
+                    f"PC {pc:#x} outside core {core}'s private IM bank")
+            return core, pc
+        if pc >= self.total_words:
+            raise SimulationError(f"PC {pc:#x} outside instruction memory")
+        if self.organization == IMOrganization.INTERLEAVED:
+            return pc % self.banks, pc // self.banks
+        return pc // self.bank_words, pc % self.bank_words
+
+    def banks_used(self, program_words: int, n_cores: int) -> int:
+        """How many IM banks hold live content for a given program size.
+
+        Determines power gating: only the ``BANKED`` organisation
+        concentrates the program into few banks (paper Section III-C).
+        """
+        if program_words <= 0:
+            return 0
+        if self.organization == IMOrganization.PRIVATE:
+            return n_cores
+        if self.organization == IMOrganization.INTERLEAVED:
+            return min(self.banks, program_words)
+        return -(-program_words // self.bank_words)  # ceil division
+
+
+@dataclass(frozen=True)
+class DataMemoryLayout:
+    """Logical->physical data-memory map shared by all three platforms.
+
+    ``shared_words_per_bank`` is the compile-time split of each physical
+    bank between the interleaved shared section and the private sections
+    (paper: "the size of the private and shared sections are configurable
+    and determined during compilation").
+    """
+
+    banks: int = 16
+    bank_words: int = 2048
+    n_cores: int = 8
+    shared_words_per_bank: int = 768
+
+    def __post_init__(self):
+        if self.banks % self.n_cores:
+            raise ConfigurationError(
+                "data banks must divide evenly among cores")
+        if not 0 < self.shared_words_per_bank < self.bank_words:
+            raise ConfigurationError(
+                "shared/private split must leave room for both sections")
+
+    # -- derived geometry --------------------------------------------------------
+
+    @property
+    def banks_per_core(self) -> int:
+        return self.banks // self.n_cores
+
+    @property
+    def shared_words(self) -> int:
+        """Capacity of the logical shared window in words."""
+        return self.banks * self.shared_words_per_bank
+
+    @property
+    def private_words_per_bank(self) -> int:
+        return self.bank_words - self.shared_words_per_bank
+
+    @property
+    def private_words_per_core(self) -> int:
+        """Capacity of one core's logical private window in words."""
+        return self.banks_per_core * self.private_words_per_bank
+
+    @property
+    def private_base(self) -> int:
+        return PRIVATE_BASE
+
+    @property
+    def total_words(self) -> int:
+        return self.banks * self.bank_words
+
+    def core_banks(self, core: int) -> tuple[int, ...]:
+        """The physical banks owning ``core``'s private section."""
+        if not 0 <= core < self.n_cores:
+            raise ConfigurationError(f"core {core} out of range")
+        first = core * self.banks_per_core
+        return tuple(range(first, first + self.banks_per_core))
+
+    # -- translation -----------------------------------------------------------
+
+    def is_private(self, logical: int) -> bool:
+        return logical >= PRIVATE_BASE
+
+    def translate(self, core: int, logical: int) -> tuple[int, int]:
+        """Translate a logical word address to physical (bank, offset).
+
+        Shared-window addresses pass through untranslated (interleaved);
+        private-window addresses are placed according to the core's PID —
+        this is the MMU function of paper Fig. 2.
+        """
+        if logical < 0:
+            raise SimulationError(f"negative address {logical}")
+        if logical < PRIVATE_BASE:
+            if logical >= self.shared_words:
+                raise SimulationError(
+                    f"shared address {logical:#x} beyond the "
+                    f"{self.shared_words}-word shared section")
+            return logical % self.banks, logical // self.banks
+        offset = logical - PRIVATE_BASE
+        if offset >= self.private_words_per_core:
+            raise SimulationError(
+                f"private address {logical:#x} beyond core {core}'s "
+                f"{self.private_words_per_core}-word window")
+        per_bank = self.private_words_per_bank
+        bank = self.core_banks(core)[offset // per_bank]
+        return bank, self.shared_words_per_bank + offset % per_bank

@@ -1,0 +1,318 @@
+"""Cycle-stepped simulator of the 8-core platforms.
+
+Each clock cycle proceeds in two phases:
+
+1. **Request** — every non-halted core presents the memory requests of its
+   current instruction: the instruction fetch plus the previewed data read
+   and/or data write (TamaRISC's three ports, all usable in one cycle).
+   Requests already granted in earlier cycles stay latched and are not
+   reissued.
+2. **Arbitrate & commit** — the I-Xbar and D-Xbar grant at most one access
+   per bank (merging same-address reads into broadcasts).  A core whose
+   requests are all satisfied commits its instruction — register/flag/PC
+   update and the actual data transfer; a core still missing a grant
+   stalls, clock-gated, and retries next cycle ("the requests are served
+   alternately while the waiting cores are stalled using clock gating",
+   Section III).
+
+Because instruction and data *contents* are deterministic, functional
+transfer happens at commit time; the crossbars only decide timing and
+count activity.  Addresses are stable across stalls because registers are
+frozen while a core stalls (a property test asserts preview == commit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.interconnect.xbar import Crossbar, Request
+from repro.memory.banked_memory import BankedMemory
+from repro.memory.layout import IMOrganization
+from repro.memory.mmu import MMU
+from repro.platform.config import ArchConfig, build_config
+from repro.platform.stats import CoreStats, SimulationStats
+from repro.tamarisc.cpu import Core
+from repro.tamarisc.program import DataImage, Program
+
+#: Instruction words are 24-bit.
+_INSTR_MASK = 0xFFFFFF
+
+
+@dataclass
+class Benchmark:
+    """A complete workload: one program image plus initial data."""
+
+    name: str
+    program: Program
+    data: DataImage
+    #: free-form metadata (expected outputs, op counts, ...)
+    meta: dict = field(default_factory=dict)
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one run: statistics plus the final machine for inspection."""
+
+    benchmark: Benchmark
+    stats: SimulationStats
+    system: "MultiCoreSystem"
+
+
+class _Attempt:
+    """Book-keeping for one core's in-flight instruction."""
+
+    __slots__ = ("instr", "need_if", "need_dr", "need_dw", "dr_loc",
+                 "dw_loc", "fetch_pc")
+
+    def __init__(self):
+        self.instr = None
+        self.need_if = False
+        self.need_dr = False
+        self.need_dw = False
+        self.dr_loc = None
+        self.dw_loc = None
+        self.fetch_pc = 0
+
+
+class MultiCoreSystem:
+    """One platform instance: cores, MMUs, crossbars and memories."""
+
+    def __init__(self, config: ArchConfig):
+        self.config = config
+        self.im_layout = config.im_layout()
+        self.dm_layout = config.dm_layout()
+        self.cores = [Core(pid=i) for i in range(config.n_cores)]
+        self.mmus = [MMU(i, self.dm_layout) for i in range(config.n_cores)]
+        self.imem = BankedMemory(config.im_banks, config.im_bank_words,
+                                 name="IM", word_mask=_INSTR_MASK)
+        self.dmem = BankedMemory(config.dm_banks, config.dm_bank_words,
+                                 name="DM")
+        self.ixbar = Crossbar(config.n_cores, config.im_banks,
+                              broadcast=config.instr_broadcast, name="I-Xbar")
+        self.dxbar = Crossbar(config.n_cores, config.dm_banks,
+                              broadcast=config.data_broadcast, name="D-Xbar")
+        self.decoded = []
+        self.benchmark: Benchmark | None = None
+        self._dreads_committed = 0
+        self._dwrites_committed = 0
+
+    # -- loading ------------------------------------------------------------------
+
+    def load(self, benchmark: Benchmark) -> None:
+        """Load program and data images; applies IM power gating."""
+        program = benchmark.program
+        if len(program) == 0:
+            raise ConfigurationError("empty program")
+        layout = self.im_layout
+        if self.config.im_org == IMOrganization.PRIVATE:
+            if len(program) > self.config.im_bank_words:
+                raise ConfigurationError(
+                    "program exceeds a private IM bank")
+            for bank in range(self.config.im_banks):
+                self.imem.load(bank, 0, program.words)
+        else:
+            if len(program) > layout.total_words:
+                raise ConfigurationError("program exceeds instruction memory")
+            for pc, word in enumerate(program.words):
+                bank, offset = layout.locate(0, pc)
+                self.imem.load(bank, offset, [word])
+        if self.config.im_power_gating:
+            used = {layout.locate(0, pc)[0] for pc in range(len(program))}
+            self.imem.gate_unused(used)
+
+        for logical, value in benchmark.data.shared.items():
+            bank, offset = self.dm_layout.translate(0, logical)
+            self.dmem.load(bank, offset, [value])
+        for core, image in benchmark.data.private.items():
+            for logical, value in image.items():
+                bank, offset = self.dm_layout.translate(core, logical)
+                self.dmem.load(bank, offset, [value])
+
+        self.decoded = program.decoded()
+        for core in self.cores:
+            core.reset(entry=program.entry)
+        # A load starts a fresh measurement window (streaming runs load
+        # one block after another on the same machine).
+        self.ixbar.reset()
+        self.dxbar.reset()
+        self.imem.reset_counters()
+        self.dmem.reset_counters()
+        for mmu in self.mmus:
+            mmu.translations = 0
+            mmu.private_accesses = 0
+            mmu.shared_accesses = 0
+        self._dreads_committed = 0
+        self._dwrites_committed = 0
+        self.benchmark = benchmark
+
+    # -- inspection helpers ----------------------------------------------------------
+
+    def read_logical(self, core: int, logical: int) -> int:
+        """Read one data word through a core's address map (no counting)."""
+        bank, offset = self.dm_layout.translate(core, logical)
+        return self.dmem.peek(bank, offset)
+
+    def read_logical_block(self, core: int, base: int, count: int) -> list[int]:
+        return [self.read_logical(core, base + i) for i in range(count)]
+
+    # -- simulation --------------------------------------------------------------------
+
+    def run(self, benchmark: Benchmark | None = None,
+            max_cycles: int = 20_000_000) -> SimulationResult:
+        """Run until every core executed HLT (or ``max_cycles`` elapse)."""
+        if benchmark is not None:
+            self.load(benchmark)
+        if self.benchmark is None:
+            raise ConfigurationError("no benchmark loaded")
+
+        n = self.config.n_cores
+        cores = self.cores
+        mmus = self.mmus
+        decoded = self.decoded
+        program_len = len(decoded)
+        im_layout = self.im_layout
+        ixbar = self.ixbar
+        dxbar = self.dxbar
+        dm_banks = self.dmem.banks
+        core_stats = [CoreStats() for _ in range(n)]
+        attempts = [_Attempt() for _ in range(n)]
+        running = set(range(n))
+
+        cycle = 0
+        sync_cycles = 0
+        while running:
+            if cycle >= max_cycles:
+                raise SimulationError(
+                    f"benchmark {self.benchmark.name!r} did not finish "
+                    f"within {max_cycles} cycles on {self.config.name}")
+            cycle += 1
+
+            im_requests = []
+            dm_requests = []
+            fetch_pcs = set()
+            for pid in running:
+                core = cores[pid]
+                attempt = attempts[pid]
+                if attempt.instr is None:
+                    self._new_attempt(core, attempt, mmus[pid], decoded,
+                                      program_len)
+                if attempt.need_if:
+                    bank, offset = im_layout.locate(pid, attempt.fetch_pc)
+                    im_requests.append(Request(pid, bank, offset))
+                    fetch_pcs.add(attempt.fetch_pc)
+                else:
+                    fetch_pcs.add(None)  # mid-instruction: not in lockstep
+                if attempt.need_dr:
+                    bank, offset = attempt.dr_loc
+                    dm_requests.append(Request(pid, bank, offset))
+                if attempt.need_dw:
+                    bank, offset = attempt.dw_loc
+                    dm_requests.append(Request(pid, bank, offset, write=True))
+            if len(running) > 1 and len(fetch_pcs) == 1 \
+                    and None not in fetch_pcs:
+                sync_cycles += 1
+
+            granted_im = ixbar.arbitrate(im_requests) if im_requests \
+                else set()
+            granted_dm = dxbar.arbitrate(dm_requests) if dm_requests \
+                else set()
+
+            halted_now = []
+            for pid in running:
+                attempt = attempts[pid]
+                if attempt.need_if and (pid, False) in granted_im:
+                    attempt.need_if = False
+                if attempt.need_dr and (pid, False) in granted_dm:
+                    attempt.need_dr = False
+                if attempt.need_dw and (pid, True) in granted_dm:
+                    attempt.need_dw = False
+                if attempt.need_if or attempt.need_dr or attempt.need_dw:
+                    core_stats[pid].stall_cycles += 1
+                    continue
+                self._commit(cores[pid], attempt, dm_banks)
+                if cores[pid].halted:
+                    core_stats[pid].halted_at = cycle
+                    halted_now.append(pid)
+            for pid in halted_now:
+                running.discard(pid)
+
+        return SimulationResult(
+            benchmark=self.benchmark,
+            stats=self._collect_stats(cycle, sync_cycles, core_stats),
+            system=self,
+        )
+
+    def _new_attempt(self, core: Core, attempt: _Attempt, mmu: MMU,
+                     decoded, program_len: int) -> None:
+        pc = core.pc
+        if pc >= program_len:
+            raise SimulationError(
+                f"core {core.pid} ran off the program at PC {pc:#x}")
+        instr = decoded[pc]
+        dread, dwrite = core.data_requests(instr)
+        attempt.instr = instr
+        attempt.fetch_pc = pc
+        attempt.need_if = True
+        attempt.need_dr = dread is not None
+        attempt.need_dw = dwrite is not None
+        attempt.dr_loc = mmu.translate(dread.addr) if dread else None
+        attempt.dw_loc = mmu.translate(dwrite.addr) if dwrite else None
+
+    def _commit(self, core: Core, attempt: _Attempt, dm_banks) -> None:
+        value = None
+        if attempt.dr_loc is not None:
+            bank, offset = attempt.dr_loc
+            value = dm_banks[bank].storage[offset]
+            self._dreads_committed += 1
+        store = core.execute(attempt.instr, value)
+        if store is not None:
+            bank, offset = attempt.dw_loc
+            dm_banks[bank].storage[offset] = store[1] & 0xFFFF
+            self._dwrites_committed += 1
+        attempt.instr = None
+        attempt.dr_loc = None
+        attempt.dw_loc = None
+
+    def _collect_stats(self, cycles: int, sync_cycles: int,
+                       core_stats: list[CoreStats]) -> SimulationStats:
+        for pid, stats in enumerate(core_stats):
+            stats.retired = self.cores[pid].retired
+        ix, dx = self.ixbar.stats, self.dxbar.stats
+        stats = SimulationStats(
+            arch=self.config.name,
+            total_cycles=cycles,
+            cores=core_stats,
+            im_bank_accesses=ix.bank_accesses,
+            im_fetches=ix.deliveries,
+            im_broadcasts=ix.broadcasts,
+            im_broadcast_savings=ix.broadcast_savings,
+            im_conflict_events=ix.conflict_events,
+            im_stalled_requests=ix.stalls,
+            im_bank_transitions=ix.total_bank_transitions,
+            im_banks_used=self.im_layout.banks_used(
+                len(self.decoded), self.config.n_cores),
+            im_banks_gated=len(self.imem.gated_banks),
+            dm_bank_accesses=dx.bank_accesses,
+            dm_broadcasts=dx.broadcasts,
+            dm_broadcast_savings=dx.broadcast_savings,
+            dm_conflict_events=dx.conflict_events,
+            dm_stalled_requests=dx.stalls,
+            dm_private_accesses=sum(m.private_accesses for m in self.mmus),
+            dm_shared_accesses=sum(m.shared_accesses for m in self.mmus),
+            sync_cycles=sync_cycles,
+        )
+        stats.dm_reads_delivered = self._dreads_committed
+        stats.dm_writes_delivered = self._dwrites_committed
+        return stats
+
+
+def build_platform(name_or_config, **overrides) -> MultiCoreSystem:
+    """Construct a platform by name ("mc-ref", "ulpmc-int", "ulpmc-bank")
+    or from an explicit :class:`ArchConfig`."""
+    if isinstance(name_or_config, ArchConfig):
+        if overrides:
+            raise ConfigurationError(
+                "pass overrides with a name, not a config object")
+        return MultiCoreSystem(name_or_config)
+    return MultiCoreSystem(build_config(name_or_config, **overrides))

@@ -1,0 +1,133 @@
+"""Simulation statistics gathered by the multi-core platform.
+
+Everything the power model needs is collected here: committed instruction
+counts (core dynamic energy), post-broadcast bank access counts (memory
+dynamic energy), crossbar deliveries and bank transitions (interconnect and
+instruction-path switching energy), stall cycles (clock-gated, hence free),
+and the set of live IM banks (leakage with power gating).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CoreStats:
+    """Per-core activity."""
+
+    retired: int = 0
+    stall_cycles: int = 0
+    halted_at: int | None = None
+
+    @property
+    def active_cycles(self) -> int:
+        return self.retired
+
+
+@dataclass
+class SimulationStats:
+    """Aggregate activity of one benchmark run."""
+
+    arch: str = ""
+    total_cycles: int = 0
+    cores: list[CoreStats] = field(default_factory=list)
+
+    # Instruction side (post-broadcast bank accesses vs delivered fetches).
+    im_bank_accesses: int = 0
+    im_fetches: int = 0
+    im_broadcasts: int = 0
+    im_broadcast_savings: int = 0
+    im_conflict_events: int = 0
+    im_stalled_requests: int = 0
+    im_bank_transitions: int = 0
+    im_banks_used: int = 0
+    im_banks_gated: int = 0
+
+    # Data side.
+    dm_bank_accesses: int = 0
+    dm_reads_delivered: int = 0
+    dm_writes_delivered: int = 0
+    dm_broadcasts: int = 0
+    dm_broadcast_savings: int = 0
+    dm_conflict_events: int = 0
+    dm_stalled_requests: int = 0
+
+    # MMU access mix (paper Section III-D: 76 % private / 24 % shared).
+    dm_private_accesses: int = 0
+    dm_shared_accesses: int = 0
+
+    # Synchronisation: cycles in which all non-halted cores fetched the
+    # same PC (precondition for instruction broadcast).
+    sync_cycles: int = 0
+
+    # -- derived ------------------------------------------------------------
+
+    @property
+    def total_retired(self) -> int:
+        return sum(core.retired for core in self.cores)
+
+    @property
+    def total_stall_cycles(self) -> int:
+        return sum(core.stall_cycles for core in self.cores)
+
+    @property
+    def dm_deliveries(self) -> int:
+        return self.dm_reads_delivered + self.dm_writes_delivered
+
+    @property
+    def private_access_fraction(self) -> float:
+        total = self.dm_private_accesses + self.dm_shared_accesses
+        return self.dm_private_accesses / total if total else 0.0
+
+    @property
+    def sync_fraction(self) -> float:
+        return self.sync_cycles / self.total_cycles if self.total_cycles \
+            else 0.0
+
+    @property
+    def im_access_reduction_vs(self) -> float:
+        """IM bank accesses saved relative to one-access-per-fetch."""
+        if not self.im_fetches:
+            return 0.0
+        return 1.0 - self.im_bank_accesses / self.im_fetches
+
+    def activity_rates(self) -> dict[str, float]:
+        """Per-cycle activity rates consumed by the power model.
+
+        Every rate is normalised to *total elapsed cycles*, i.e. it is the
+        average number of events per clock cycle of the whole platform.
+        """
+        cycles = self.total_cycles or 1
+        active_core_cycles = sum(core.retired for core in self.cores)
+        return {
+            "core_active": active_core_cycles / cycles,
+            "im_access": self.im_bank_accesses / cycles,
+            "im_delivery": self.im_fetches / cycles,
+            "im_bank_transition": self.im_bank_transitions / cycles,
+            "dm_access": self.dm_bank_accesses / cycles,
+            "dm_delivery": self.dm_deliveries / cycles,
+        }
+
+    def summary(self) -> str:
+        """Human-readable multi-line digest."""
+        lines = [
+            f"architecture        : {self.arch}",
+            f"total cycles        : {self.total_cycles}",
+            f"instructions retired: {self.total_retired}",
+            f"stall cycles        : {self.total_stall_cycles}",
+            f"sync cycles         : {self.sync_cycles}"
+            f" ({100 * self.sync_fraction:.1f}%)",
+            f"IM bank accesses    : {self.im_bank_accesses}"
+            f" (fetches {self.im_fetches},"
+            f" saved {self.im_broadcast_savings} by broadcast)",
+            f"IM banks used/gated : {self.im_banks_used}/{self.im_banks_gated}",
+            f"DM bank accesses    : {self.dm_bank_accesses}"
+            f" (reads {self.dm_reads_delivered},"
+            f" writes {self.dm_writes_delivered},"
+            f" saved {self.dm_broadcast_savings} by broadcast)",
+            f"DM private/shared   : {self.dm_private_accesses}/"
+            f"{self.dm_shared_accesses}"
+            f" ({100 * self.private_access_fraction:.1f}% private)",
+        ]
+        return "\n".join(lines)

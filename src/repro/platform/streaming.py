@@ -1,0 +1,112 @@
+"""Streaming / duty-cycled operation of the monitoring node.
+
+A wearable node is real-time: every 512-sample block (2.048 s at 250 Hz)
+must be compressed before the next one lands.  The cores run the kernel,
+``HLT``, and sleep clock-gated until the next block wakes them — this is
+the execution model behind the paper's low-workload operating points
+(Fig. 7's 5-500 kOps/s region *is* this duty cycling at different clock
+frequencies).
+
+:func:`run_stream` plays a multi-block recording through one platform,
+verifying every block bit-exactly, and reports the timing/duty-cycle
+picture at a chosen clock frequency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.platform.multicore import MultiCoreSystem, build_platform
+from repro.platform.stats import SimulationStats
+
+#: The application's sample rate (paper Section II).
+SAMPLE_RATE_HZ = 250.0
+
+
+@dataclass
+class BlockOutcome:
+    """One block's simulation outcome."""
+
+    index: int
+    stats: SimulationStats
+
+
+@dataclass
+class StreamReport:
+    """Aggregate of a streamed multi-block run."""
+
+    arch: str
+    clock_hz: float
+    block_period_s: float
+    blocks: list[BlockOutcome] = field(default_factory=list)
+
+    @property
+    def cycles_per_block(self) -> list[int]:
+        return [block.stats.total_cycles for block in self.blocks]
+
+    @property
+    def worst_cycles(self) -> int:
+        return max(self.cycles_per_block)
+
+    @property
+    def utilisation(self) -> float:
+        """Worst-case fraction of the block period spent computing."""
+        return self.worst_cycles / (self.clock_hz * self.block_period_s)
+
+    @property
+    def real_time(self) -> bool:
+        return self.utilisation <= 1.0
+
+    @property
+    def min_real_time_clock_hz(self) -> float:
+        """Slowest clock that still meets every block's deadline."""
+        return self.worst_cycles / self.block_period_s
+
+    @property
+    def total_retired(self) -> int:
+        return sum(block.stats.total_retired for block in self.blocks)
+
+    def mean_stats(self) -> dict[str, float]:
+        """Per-block means of the power-relevant counters."""
+        blocks = len(self.blocks)
+        return {
+            "cycles": sum(self.cycles_per_block) / blocks,
+            "im_accesses": sum(b.stats.im_bank_accesses
+                               for b in self.blocks) / blocks,
+            "dm_accesses": sum(b.stats.dm_bank_accesses
+                               for b in self.blocks) / blocks,
+            "sync_fraction": sum(b.stats.sync_fraction
+                                 for b in self.blocks) / blocks,
+        }
+
+
+def run_stream(arch: str, series,
+               clock_hz: float = 1e6,
+               system: MultiCoreSystem | None = None) -> StreamReport:
+    """Stream a block series through one platform, verifying each block.
+
+    The same machine instance processes every block (program and LUTs
+    stay loaded conceptually; the loader re-images them, which is free in
+    the model); cores wake at block boundaries, exactly like a
+    timer-driven duty-cycled node.
+    """
+    # Imported here: repro.kernels builds on repro.platform, so a
+    # module-level import would be circular.
+    from repro.kernels.benchmark import verify_result
+
+    if not series:
+        raise ConfigurationError("empty block series")
+    if clock_hz <= 0:
+        raise ConfigurationError("clock must be positive")
+    spec = series[0].spec
+    block_period = spec.n_samples / SAMPLE_RATE_HZ
+    if system is None:
+        system = build_platform(arch)
+    report = StreamReport(arch=arch, clock_hz=clock_hz,
+                          block_period_s=block_period)
+    for index, built in enumerate(series):
+        result = system.run(built.benchmark)
+        verify_result(built, result)
+        report.blocks.append(BlockOutcome(index=index, stats=result.stats))
+    return report

@@ -1,0 +1,51 @@
+"""Calibrated 90 nm low-leakage power, area and timing models.
+
+The paper evaluates post-layout netlists in a 90 nm low-leakage process
+with voltage/frequency scaling down to the transistor threshold.  This
+package replaces that flow with analytical models whose constants are
+calibrated against the paper's own published anchors (DESIGN.md §6):
+
+* :mod:`repro.power.technology` — delay-vs-voltage (alpha-power law),
+  V² dynamic scaling, leakage scaling, threshold-limited DVFS;
+* :mod:`repro.power.components` — per-event energies from Table II and
+  the leakage budget from Fig. 8;
+* :mod:`repro.power.area` — the kGE area model of Table I;
+* :mod:`repro.power.synthesis` — the effect of the synthesis clock
+  constraint (Figs. 5 and 6);
+* :mod:`repro.power.power_model` — activity x energy + leakage, with
+  per-component breakdowns;
+* :mod:`repro.power.dvfs` — the workload -> (voltage, frequency) policy;
+* :mod:`repro.power.calibration` — runs the reference benchmark on the
+  three platforms (the paper's "power characterization framework",
+  Fig. 4) and produces the calibrated model set.
+"""
+
+from repro.power.technology import TechnologyModel, make_technology
+from repro.power.components import ComponentEnergies, LeakageBudget
+from repro.power.area import AreaModel, area_report
+from repro.power.synthesis import SynthesisModel, DESIGN_POINTS_NS
+from repro.power.power_model import PowerModel
+from repro.power.dvfs import DVFSPolicy, OperatingPoint
+from repro.power.calibration import CalibratedSet, calibrated_set, \
+    reference_results
+from repro.power.lifetime import Battery, lifetime_days, lifetime_hours
+
+__all__ = [
+    "Battery",
+    "lifetime_days",
+    "lifetime_hours",
+    "TechnologyModel",
+    "make_technology",
+    "ComponentEnergies",
+    "LeakageBudget",
+    "AreaModel",
+    "area_report",
+    "SynthesisModel",
+    "DESIGN_POINTS_NS",
+    "PowerModel",
+    "DVFSPolicy",
+    "OperatingPoint",
+    "CalibratedSet",
+    "calibrated_set",
+    "reference_results",
+]

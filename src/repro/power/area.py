@@ -1,0 +1,141 @@
+"""Area model reproducing Table I (kGE, 1 GE = 3.136 um²).
+
+The memories dominate (~90 % of area).  Their model is
+``bank_area = fixed + per_byte * bytes``: solving the two Table I
+observations —
+
+* IM: 8 banks x 12288 B = 429.4 kGE
+* DM: 16 banks x 4096 B = 576.7 kGE
+
+— yields the per-bank periphery (sense amps, decoders, control) and the
+cell-array density.  The DM costs more area than the larger IM because
+sixteen small banks pay sixteen peripheries; that is also exactly why the
+paper's designs pay for banking only where conflict-freedom needs it.
+
+Crossbars are Mesh-of-Trees networks: area scales with the internal node
+count (M routing trees of B-1 nodes + B arbitration trees of M-1 nodes)
+times an effective datapath width; broadcast support adds a calibrated
+overhead fraction.  Cores: 8 x 10.19 kGE for TamaRISC, plus
+0.725 kGE/core of MMU and broadcast-fetch logic in the proposed design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.interconnect.mot import MeshOfTrees
+from repro.memory.layout import IMOrganization
+from repro.platform.config import ArchConfig
+
+#: Square micrometres per gate equivalent in the 90 nm library (Table I).
+UM2_PER_GE = 3.136
+
+# Table I observations used as calibration anchors (kGE).
+_TABLE1_IM_KGE = 429.4
+_TABLE1_DM_KGE = 576.7
+_TABLE1_CORES_MCREF_KGE = 81.5
+_TABLE1_CORES_PROPOSED_KGE = 87.3
+_TABLE1_DXBAR_MCREF_KGE = 20.5
+_TABLE1_DXBAR_PROPOSED_KGE = 23.0
+_TABLE1_IXBAR_KGE = 12.4
+
+# Memory geometry behind the anchors.
+_IM_BANKS, _IM_BANK_BYTES = 8, 12288
+_DM_BANKS, _DM_BANK_BYTES = 16, 4096
+
+
+def _solve_memory_constants() -> tuple[float, float]:
+    """Solve bank_fixed (GE) and per_byte (GE/B) from the two anchors."""
+    # 8 * (F + 12288 a) = 429400 ; 16 * (F + 4096 a) = 576700
+    lhs_im = _TABLE1_IM_KGE * 1e3 / _IM_BANKS
+    lhs_dm = _TABLE1_DM_KGE * 1e3 / _DM_BANKS
+    per_byte = (lhs_im - lhs_dm) / (_IM_BANK_BYTES - _DM_BANK_BYTES)
+    fixed = lhs_im - per_byte * _IM_BANK_BYTES
+    if per_byte <= 0 or fixed <= 0:
+        raise ConfigurationError("memory area anchors are inconsistent")
+    return fixed, per_byte
+
+_MEM_FIXED_GE, _MEM_GE_PER_BYTE = _solve_memory_constants()
+
+#: TamaRISC core area (Table I cores / 8).
+CORE_KGE = _TABLE1_CORES_MCREF_KGE / 8
+#: MMU + broadcast-fetch logic per core in the proposed design.
+MMU_KGE = (_TABLE1_CORES_PROPOSED_KGE - _TABLE1_CORES_MCREF_KGE) / 8
+
+#: Broadcast support overhead on a crossbar (23.0 / 20.5 - 1).
+BROADCAST_AREA_OVERHEAD = _TABLE1_DXBAR_PROPOSED_KGE \
+    / _TABLE1_DXBAR_MCREF_KGE - 1.0
+
+
+def _mot_nodes(masters: int, banks: int) -> int:
+    return MeshOfTrees(masters, banks).total_nodes
+
+
+# Effective per-node area (GE) for the two crossbars, absorbed widths and
+# control: calibrated so the Table I entries are exact.
+_DXBAR_GE_PER_NODE = _TABLE1_DXBAR_MCREF_KGE * 1e3 / _mot_nodes(8, 16)
+_IXBAR_GE_PER_NODE = _TABLE1_IXBAR_KGE * 1e3 \
+    / (_mot_nodes(8, 8) * (1.0 + BROADCAST_AREA_OVERHEAD))
+
+
+@dataclass(frozen=True)
+class AreaModel:
+    """Computes per-component areas (kGE) for a platform configuration."""
+
+    config: ArchConfig
+
+    def memory_bank_kge(self, bank_bytes: int) -> float:
+        return (_MEM_FIXED_GE + _MEM_GE_PER_BYTE * bank_bytes) / 1e3
+
+    def cores_kge(self) -> float:
+        per_core = CORE_KGE + (MMU_KGE if self.config.has_ixbar else 0.0)
+        return per_core * self.config.n_cores
+
+    def im_kge(self) -> float:
+        return self.config.im_banks \
+            * self.memory_bank_kge(self.config.im_bank_words * 3)
+
+    def dm_kge(self) -> float:
+        return self.config.dm_banks \
+            * self.memory_bank_kge(self.config.dm_bank_words * 2)
+
+    def dxbar_kge(self) -> float:
+        nodes = _mot_nodes(self.config.n_cores, self.config.dm_banks)
+        overhead = BROADCAST_AREA_OVERHEAD if self.config.data_broadcast \
+            and self.config.has_ixbar else 0.0
+        return _DXBAR_GE_PER_NODE * nodes * (1.0 + overhead) / 1e3
+
+    def ixbar_kge(self) -> float:
+        if not self.config.has_ixbar:
+            return 0.0
+        nodes = _mot_nodes(self.config.n_cores, self.config.im_banks)
+        overhead = BROADCAST_AREA_OVERHEAD if self.config.instr_broadcast \
+            else 0.0
+        return _IXBAR_GE_PER_NODE * nodes * (1.0 + overhead) / 1e3
+
+    def logic_kge(self) -> float:
+        """Non-memory area: cores plus crossbars (leakage model input)."""
+        return self.cores_kge() + self.dxbar_kge() + self.ixbar_kge()
+
+    def total_kge(self) -> float:
+        return self.logic_kge() + self.im_kge() + self.dm_kge()
+
+    def report(self) -> dict[str, float]:
+        """Component areas in kGE, Table I rows."""
+        return {
+            "total": self.total_kge(),
+            "cores": self.cores_kge(),
+            "im": self.im_kge(),
+            "dm": self.dm_kge(),
+            "dxbar": self.dxbar_kge(),
+            "ixbar": self.ixbar_kge(),
+        }
+
+    def total_mm2(self) -> float:
+        return self.total_kge() * 1e3 * UM2_PER_GE / 1e6
+
+
+def area_report(config: ArchConfig) -> dict[str, float]:
+    """Table I row for one architecture (kGE per component)."""
+    return AreaModel(config).report()

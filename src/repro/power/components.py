@@ -1,0 +1,210 @@
+"""Per-event energies and the leakage budget, calibrated to the paper.
+
+Dynamic energies (Table II domain)
+----------------------------------
+
+Table II gives the dynamic power of every component at 8 MOps/s and 1.2 V
+(i.e. a 1 MHz clock on 8 cores).  Dividing each component's power by the
+*simulated* per-cycle activity of that component yields a per-event energy:
+
+* ``core_instr`` comes out at 22.5 pJ — exactly the paper's Section IV-C1
+  "15.6 pJ/Op at 1.0 V" after V² scaling to 1.2 V, which cross-validates
+  the whole procedure;
+* ``im_access`` / ``dm_access`` are bank-access energies (the IM power of
+  the proposed design is then *predicted*, not fitted: the simulator's
+  broadcast-merged access count times ``im_access`` reproduces the
+  0.05 mW of Table II);
+* the proposed design's higher core power ("signal activity increase
+  caused by the I-Xbar") is modelled as a per-instruction fetch-path
+  energy with a component proportional to the I-Xbar's output-bank
+  transition rate — this is what makes ulpmc-bank cheaper than ulpmc-int
+  (single live bank, fewer output-net toggles), reproducing the paper's
+  Table II discussion;
+* the same transition term calibrates the I-Xbar energies (0.03 mW int vs
+  0.01 mW bank).
+
+Post-layout factor
+------------------
+
+The paper's Table II / Section IV-C1 numbers (80 pJ per operation,
+system-level) and its Figs. 5-8 (about 620 pJ per operation, e.g.
+397.4 mW at 636.9 MOps/s) differ by a constant factor of about eight.
+This is consistent with Table II reporting cell-level dynamic power and
+the figures reporting full post-layout power including the clock and
+signal wiring at speed.  We therefore carry one calibrated
+``post_layout_factor`` applied uniformly when reproducing the figures; it
+cancels from every ratio, saving percentage and crossover the paper
+reports.  See EXPERIMENTS.md for the discussion.
+
+Leakage budget (Fig. 8 domain)
+------------------------------
+
+* ulpmc-bank gates 7 of its 8 IM banks and leaks 38.8 % less than mc-ref
+  (paper abstract and Fig. 8) → the IM's share of total leakage is
+  0.388 / (7/8) = 44.3 %;
+* logic leaks in proportion to its gate count (Table I areas), about 9 %;
+  the data memory takes the remainder;
+* the absolute level is set by the paper's statement that leakage and
+  dynamic power cross "at around 50 kOps/s" at the minimum voltage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CalibrationError
+
+# Table II targets, in mW at 8 MOps/s (1 MHz clock) and 1.2 V.
+TABLE2_MCREF = {"cores": 0.18, "im": 0.36, "dm": 0.07, "dxbar": 0.02,
+                "clock": 0.03}
+TABLE2_INT = {"cores": 0.25, "im": 0.05, "dm": 0.06, "dxbar": 0.03,
+              "ixbar": 0.03, "clock": 0.04}
+TABLE2_BANK = {"cores": 0.21, "im": 0.05, "dm": 0.06, "dxbar": 0.02,
+               "ixbar": 0.01, "clock": 0.04}
+
+#: Clock frequency of the Table II operating point (8 MOps/s / 8 cores).
+TABLE2_FREQUENCY_HZ = 1.0e6
+
+#: Leakage share of the instruction memory in mc-ref, from the 38.8 %
+#: saving obtained by gating 7 of 8 banks: 0.388 / (7/8).
+IM_LEAKAGE_SHARE = 0.388 / (7.0 / 8.0)
+
+#: Workload at which leakage equals dynamic power at v_min (paper Fig. 8:
+#: "comparable ... at around 50 kOps/s").
+LEAKAGE_CROSSOVER_OPS = 50e3
+
+
+@dataclass(frozen=True)
+class ComponentEnergies:
+    """Dynamic energy per event, in joules, at nominal supply.
+
+    Events are the activity counters of
+    :meth:`repro.platform.stats.SimulationStats.activity_rates`.
+    """
+
+    core_instr: float          #: per committed instruction
+    core_path_base: float      #: extra per instruction when fetching via I-Xbar
+    core_path_transition: float  #: extra per fetch whose IM bank changed
+    im_access: float           #: per (broadcast-merged) IM bank access
+    dm_access: float           #: per (broadcast-merged) DM bank access
+    dxbar_delivery: float      #: per word through the D-Xbar
+    ixbar_delivery: float      #: per fetch delivered through the I-Xbar
+    ixbar_transition: float    #: per delivered fetch with an IM bank change
+    clock_core: float          #: clock tree, per active (non-gated) core cycle
+    clock_xbar: float          #: clock tree, per cycle, I-Xbar register load
+
+    def validate(self) -> None:
+        for name, value in self.__dict__.items():
+            if value < 0:
+                raise CalibrationError(f"negative energy {name} = {value}")
+
+
+@dataclass(frozen=True)
+class LeakageBudget:
+    """Leakage power, in watts at nominal supply."""
+
+    im_per_bank: float
+    dm_per_bank: float
+    logic_per_kge: float       #: cores + crossbars + clock tree
+
+    def validate(self) -> None:
+        for name, value in self.__dict__.items():
+            if value < 0:
+                raise CalibrationError(f"negative leakage {name} = {value}")
+
+
+def calibrate_energies(rates_mcref: dict, rates_int: dict,
+                       rates_bank: dict) -> ComponentEnergies:
+    """Solve the per-event energies from Table II and simulated activity.
+
+    ``rates_*`` are the per-cycle activity dictionaries of the three
+    reference runs (full paper geometry).
+    """
+    f = TABLE2_FREQUENCY_HZ
+
+    def per_event(power_mw: float, rate: float) -> float:
+        if rate <= 0:
+            raise CalibrationError("zero activity for a powered component")
+        return power_mw * 1e-3 / (rate * f)
+
+    core_instr = per_event(TABLE2_MCREF["cores"], rates_mcref["core_active"])
+    im_access = per_event(TABLE2_MCREF["im"], rates_mcref["im_access"])
+    dm_access = per_event(TABLE2_MCREF["dm"], rates_mcref["dm_access"])
+    dxbar_delivery = per_event(TABLE2_MCREF["dxbar"],
+                               rates_mcref["dm_delivery"])
+    clock_core = per_event(TABLE2_MCREF["clock"], rates_mcref["core_active"])
+
+    # Proposed-design extras.  The transition rates differ strongly between
+    # the interleaved (one bank change per fetch) and banked (almost none)
+    # organisations, which is what identifies the two path terms.
+    t_int = rates_int["im_bank_transition"] / rates_int["core_active"]
+    t_bank = rates_bank["im_bank_transition"] / rates_bank["core_active"]
+    if abs(t_int - t_bank) < 1e-6:
+        raise CalibrationError(
+            "interleaved and banked transition rates coincide; cannot "
+            "separate the fetch-path energy terms")
+    extra_int = (TABLE2_INT["cores"] * 1e-3 / f
+                 - core_instr * rates_int["core_active"]) \
+        / rates_int["core_active"]
+    extra_bank = (TABLE2_BANK["cores"] * 1e-3 / f
+                  - core_instr * rates_bank["core_active"]) \
+        / rates_bank["core_active"]
+    core_path_transition = (extra_int - extra_bank) / (t_int - t_bank)
+    core_path_base = extra_bank - core_path_transition * t_bank
+
+    # I-Xbar: delivery term from the banked row (almost no transitions),
+    # transition term from the interleaved row.
+    p_ix_int = TABLE2_INT["ixbar"] * 1e-3 / f
+    p_ix_bank = TABLE2_BANK["ixbar"] * 1e-3 / f
+    ixbar_delivery = (p_ix_bank
+                      - 0.0 * rates_bank["im_bank_transition"]) \
+        / rates_bank["im_delivery"]
+    ixbar_transition = (p_ix_int
+                        - ixbar_delivery * rates_int["im_delivery"]) \
+        / max(rates_int["im_bank_transition"], 1e-12)
+
+    # Clock tree: the proposed design adds the I-Xbar register load.
+    clock_xbar = (TABLE2_INT["clock"] * 1e-3 / f
+                  - clock_core * rates_int["core_active"])
+
+    energies = ComponentEnergies(
+        core_instr=core_instr,
+        core_path_base=max(core_path_base, 0.0),
+        core_path_transition=max(core_path_transition, 0.0),
+        im_access=im_access,
+        dm_access=dm_access,
+        dxbar_delivery=dxbar_delivery,
+        ixbar_delivery=ixbar_delivery,
+        ixbar_transition=max(ixbar_transition, 0.0),
+        clock_core=clock_core,
+        clock_xbar=max(clock_xbar, 0.0),
+    )
+    energies.validate()
+    return energies
+
+
+def calibrate_leakage(total_leakage_nominal_w: float,
+                      logic_kge_mcref: float,
+                      im_banks: int = 8,
+                      dm_banks: int = 16,
+                      logic_share: float | None = None) -> LeakageBudget:
+    """Split the mc-ref leakage budget across IM banks, DM banks and logic.
+
+    ``total_leakage_nominal_w`` is the mc-ref total at nominal supply.
+    The IM share is pinned by the paper's 38.8 % gating saving; the logic
+    share defaults to the logic area fraction of Table I (~9.2 %); the
+    data memory takes the rest.
+    """
+    if logic_share is None:
+        logic_share = 0.092
+    dm_share = 1.0 - IM_LEAKAGE_SHARE - logic_share
+    if dm_share <= 0:
+        raise CalibrationError("leakage shares exceed 100 %")
+    budget = LeakageBudget(
+        im_per_bank=total_leakage_nominal_w * IM_LEAKAGE_SHARE / im_banks,
+        dm_per_bank=total_leakage_nominal_w * dm_share / dm_banks,
+        logic_per_kge=total_leakage_nominal_w * logic_share
+        / logic_kge_mcref,
+    )
+    budget.validate()
+    return budget

@@ -1,0 +1,76 @@
+"""Voltage/frequency scaling policy (paper Section IV-C2).
+
+"Both voltage and frequency scaling are applied for workloads higher than
+10 MOps/s, however for workloads lower than this, only frequency scaling
+is used and the supply voltages are kept at the minimum level."
+
+With the technology model this policy is simply: run at the lowest clock
+that meets the workload, at the lowest supply that meets that clock — the
+supply saturates at ``v_min`` exactly at the ~10 MOps/s knee.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.power.technology import TechnologyModel
+
+#: The paper's energy-efficient synthesis constraint (Section IV-B).
+NOMINAL_PERIOD_NS = 12.0
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """One (workload, frequency, voltage) solution."""
+
+    workload_ops: float
+    frequency_hz: float
+    voltage: float
+
+    @property
+    def period_ns(self) -> float:
+        return 1e9 / self.frequency_hz
+
+
+class DVFSPolicy:
+    """Minimum-power operating points for one synthesised design."""
+
+    def __init__(self, technology: TechnologyModel,
+                 period_ns: float = NOMINAL_PERIOD_NS):
+        if period_ns <= 0:
+            raise ConfigurationError("clock period must be positive")
+        self.technology = technology
+        self.period_ns = period_ns
+        self.f_nominal_hz = 1e9 / period_ns
+
+    @property
+    def f_min_voltage_hz(self) -> float:
+        """Maximum clock at the minimum supply (the DVFS knee)."""
+        return self.f_nominal_hz * self.technology.min_speed_factor
+
+    def max_workload_ops(self, ops_per_cycle: float) -> float:
+        """Peak throughput at nominal voltage."""
+        return self.f_nominal_hz * ops_per_cycle
+
+    def operating_point(self, workload_ops: float,
+                        ops_per_cycle: float) -> OperatingPoint:
+        """Lowest (V, f) meeting ``workload_ops`` useful operations/s.
+
+        ``ops_per_cycle`` is the architecture's delivered operations per
+        clock cycle for the target application (mc-ref reference
+        operations divided by this architecture's cycles).  Raises
+        :class:`~repro.errors.ConfigurationError` if the design cannot
+        reach the workload even at nominal supply.
+        """
+        if workload_ops <= 0:
+            raise ConfigurationError("workload must be positive")
+        f_required = workload_ops / ops_per_cycle
+        speed = f_required / self.f_nominal_hz
+        if speed > 1.0 + 1e-9:
+            raise ConfigurationError(
+                f"workload {workload_ops:.3g} Ops/s exceeds the design's "
+                f"peak {self.max_workload_ops(ops_per_cycle):.3g} Ops/s")
+        voltage = self.technology.voltage_for_speed(min(speed, 1.0))
+        return OperatingPoint(workload_ops=workload_ops,
+                              frequency_hz=f_required, voltage=voltage)

@@ -1,0 +1,152 @@
+"""Activity x energy power model with per-component breakdowns.
+
+One :class:`PowerModel` binds an architecture configuration, the activity
+statistics of a simulated benchmark run, the calibrated per-event energies
+and leakage budget, and the technology scaling.  It answers the questions
+behind every paper figure:
+
+* component dynamic powers at an (f, V) operating point (Table II, Fig 3);
+* leakage with IM power gating (Fig 8);
+* totals across DVFS operating points (Figs 5-7).
+
+Dynamic powers exist in two domains (see ``repro.power.components``): the
+cell-level Table II domain, and the post-layout figure domain obtained by
+the uniform ``post_layout_factor``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.platform.config import ArchConfig
+from repro.platform.stats import SimulationStats
+from repro.power.area import AreaModel
+from repro.power.components import ComponentEnergies, LeakageBudget
+from repro.power.technology import TechnologyModel
+
+
+@dataclass(frozen=True)
+class PowerBreakdown:
+    """Per-component power in watts."""
+
+    cores: float
+    im: float
+    dm: float
+    dxbar: float
+    ixbar: float
+    clock: float
+
+    @property
+    def total(self) -> float:
+        return (self.cores + self.im + self.dm + self.dxbar + self.ixbar
+                + self.clock)
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "cores": self.cores,
+            "im": self.im,
+            "dm": self.dm,
+            "dxbar": self.dxbar,
+            "ixbar": self.ixbar,
+            "clock": self.clock,
+        }
+
+    def shares(self) -> dict[str, float]:
+        total = self.total
+        return {name: value / total for name, value
+                in self.as_dict().items()}
+
+
+class PowerModel:
+    """Power of one architecture running one profiled benchmark."""
+
+    def __init__(self, config: ArchConfig, stats: SimulationStats,
+                 energies: ComponentEnergies, leakage: LeakageBudget,
+                 technology: TechnologyModel,
+                 post_layout_factor: float = 1.0):
+        self.config = config
+        self.stats = stats
+        self.energies = energies
+        self.leakage = leakage
+        self.technology = technology
+        self.post_layout_factor = post_layout_factor
+        self.area = AreaModel(config)
+
+    # -- dynamic ---------------------------------------------------------------
+
+    def cycle_energy(self) -> PowerBreakdown:
+        """Per-component dynamic energy per clock cycle (J) at v_nom,
+        Table II domain."""
+        rates = self.stats.activity_rates()
+        energies = self.energies
+        has_ixbar = self.config.has_ixbar
+        cores = energies.core_instr * rates["core_active"]
+        ixbar = 0.0
+        clock = energies.clock_core * rates["core_active"]
+        if has_ixbar:
+            cores += (energies.core_path_base * rates["core_active"]
+                      + energies.core_path_transition
+                      * rates["im_bank_transition"])
+            ixbar = (energies.ixbar_delivery * rates["im_delivery"]
+                     + energies.ixbar_transition
+                     * rates["im_bank_transition"])
+            clock += energies.clock_xbar
+        return PowerBreakdown(
+            cores=cores,
+            im=energies.im_access * rates["im_access"],
+            dm=energies.dm_access * rates["dm_access"],
+            dxbar=energies.dxbar_delivery * rates["dm_delivery"],
+            ixbar=ixbar,
+            clock=clock,
+        )
+
+    def dynamic_power(self, frequency_hz: float, voltage: float,
+                      post_layout: bool = True) -> PowerBreakdown:
+        """Component dynamic powers (W) at an operating point."""
+        scale = frequency_hz * self.technology.dynamic_scale(voltage)
+        if post_layout:
+            scale *= self.post_layout_factor
+        cycle = self.cycle_energy()
+        return PowerBreakdown(**{name: value * scale for name, value
+                                 in cycle.as_dict().items()})
+
+    # -- leakage ------------------------------------------------------------------
+
+    def leakage_power(self, voltage: float) -> dict[str, float]:
+        """Leakage (W) split into memories and logic, with IM gating."""
+        scale = self.technology.leakage_scale(voltage)
+        live_im_banks = self.config.im_banks - self.stats.im_banks_gated
+        return {
+            "im": self.leakage.im_per_bank * live_im_banks * scale,
+            "dm": self.leakage.dm_per_bank * self.config.dm_banks * scale,
+            "logic": self.leakage.logic_per_kge * self.area.logic_kge()
+            * scale,
+        }
+
+    def total_leakage(self, voltage: float) -> float:
+        return sum(self.leakage_power(voltage).values())
+
+    # -- totals -----------------------------------------------------------------------
+
+    def total_power(self, frequency_hz: float, voltage: float,
+                    post_layout: bool = True) -> float:
+        """Dynamic + leakage (W)."""
+        return (self.dynamic_power(frequency_hz, voltage,
+                                   post_layout=post_layout).total
+                + self.total_leakage(voltage))
+
+    def energy_per_op(self, voltage: float | None = None,
+                      post_layout: bool = False) -> float:
+        """Dynamic energy per retired operation (J).
+
+        Defaults to nominal supply and the Table II domain, where the
+        mc-ref system lands at 80 pJ/Op and the core alone at 22.5 pJ/Op
+        (15.6 pJ/Op at 1.0 V — Section IV-C1).
+        """
+        voltage = self.technology.v_nom if voltage is None else voltage
+        cycle = self.cycle_energy().total \
+            * self.technology.dynamic_scale(voltage)
+        if post_layout:
+            cycle *= self.post_layout_factor
+        ops_per_cycle = self.stats.total_retired / self.stats.total_cycles
+        return cycle / ops_per_cycle

@@ -1,0 +1,114 @@
+"""90 nm low-leakage technology model: delay, dynamic and leakage scaling.
+
+Anchors (paper Section IV):
+
+* nominal supply 1.2 V; voltage scaling is limited to the transistor
+  threshold "to avoid performance variability and functional failure
+  issues occurring mainly at sub-threshold voltages" — we stop at
+  ``v_min = 0.5 V`` with a device threshold ``v_t = 0.4 V``;
+* "the power values at scaled voltages are calculated regarding the fact
+  that the power decreases with the square of the supply voltage" —
+  ``dynamic_scale(V) = (V / 1.2)**2`` is the paper's own rule;
+* at nominal voltage the designs reach 664.5 MOps/s, and "when the
+  supply voltages reach the threshold level [they] still accomplish
+  around 10 MOps/s" — the alpha-power-law exponent is solved so the
+  frequency ratio at ``v_min`` is exactly 10 / 664.5.
+
+Delay follows the alpha-power law (Sakurai-Newton):
+``f(V) ∝ (V - v_t)**alpha / V``.  Leakage current grows with supply
+(DIBL); we use the same quadratic scaling the paper applies to power,
+``leakage_scale(V) = (V / 1.2)**2``, which keeps the Fig. 7/8 low-
+workload ratios exact by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from scipy.optimize import brentq
+
+from repro.errors import CalibrationError
+
+#: Paper anchor: throughput ratio between threshold and nominal supply.
+THRESHOLD_SPEED_RATIO = 10.0 / 664.5
+
+
+@dataclass(frozen=True)
+class TechnologyModel:
+    """Voltage-dependent speed and power scaling for 90 nm LL."""
+
+    v_nom: float = 1.2
+    v_min: float = 0.5
+    v_t: float = 0.4
+    alpha: float = 2.0
+
+    def __post_init__(self):
+        if not self.v_t < self.v_min < self.v_nom:
+            raise CalibrationError(
+                "need v_t < v_min < v_nom for a meaningful scaling range")
+
+    # -- delay ------------------------------------------------------------------
+
+    def speed_factor(self, v: float) -> float:
+        """Maximum clock frequency at supply ``v``, relative to ``v_nom``."""
+        if v <= self.v_t:
+            return 0.0
+        drive = (v - self.v_t) ** self.alpha / v
+        nominal = (self.v_nom - self.v_t) ** self.alpha / self.v_nom
+        return drive / nominal
+
+    @property
+    def min_speed_factor(self) -> float:
+        """Speed at the lowest allowed supply (the threshold knee)."""
+        return self.speed_factor(self.v_min)
+
+    def voltage_for_speed(self, speed: float) -> float:
+        """Lowest supply achieving a relative speed ``speed``.
+
+        Speeds at or below the threshold knee return ``v_min`` (below the
+        knee the paper scales frequency only); speeds above 1 raise.
+        """
+        if speed > 1.0 + 1e-12:
+            raise CalibrationError(
+                f"speed {speed} exceeds the design's nominal frequency")
+        if speed <= self.min_speed_factor:
+            return self.v_min
+        if speed >= 1.0:
+            return self.v_nom
+        return brentq(lambda v: self.speed_factor(v) - speed,
+                      self.v_min, self.v_nom, xtol=1e-9)
+
+    # -- power scaling -------------------------------------------------------------
+
+    def dynamic_scale(self, v: float) -> float:
+        """Dynamic energy per event relative to nominal supply (V² rule)."""
+        return (v / self.v_nom) ** 2
+
+    def leakage_scale(self, v: float) -> float:
+        """Leakage power relative to nominal supply."""
+        return (v / self.v_nom) ** 2
+
+
+def make_technology(threshold_speed_ratio: float = THRESHOLD_SPEED_RATIO,
+                    v_nom: float = 1.2, v_min: float = 0.5,
+                    v_t: float = 0.4) -> TechnologyModel:
+    """Build the technology model, solving ``alpha`` for the paper anchor.
+
+    ``alpha`` is chosen so that ``speed_factor(v_min)`` equals
+    ``threshold_speed_ratio`` (10 MOps/s out of 664.5 MOps/s).
+    """
+    if not 0.0 < threshold_speed_ratio < 1.0:
+        raise CalibrationError("threshold speed ratio must be in (0, 1)")
+
+    def mismatch(alpha: float) -> float:
+        model = TechnologyModel(v_nom=v_nom, v_min=v_min, v_t=v_t,
+                                alpha=alpha)
+        return model.speed_factor(v_min) - threshold_speed_ratio
+
+    try:
+        alpha = brentq(mismatch, 0.5, 6.0, xtol=1e-10)
+    except ValueError as exc:
+        raise CalibrationError(
+            "could not solve the alpha-power exponent for the requested "
+            f"threshold speed ratio {threshold_speed_ratio}") from exc
+    return TechnologyModel(v_nom=v_nom, v_min=v_min, v_t=v_t, alpha=alpha)

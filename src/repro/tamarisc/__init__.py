@@ -1,0 +1,73 @@
+"""TamaRISC — the custom low-power RISC core of the DATE 2012 paper.
+
+The paper (Section III-A) specifies:
+
+* 16-bit data word, 16 working registers, 3-stage pipeline (fetch, decode,
+  execute) with complete bypassing so that every instruction retires in a
+  single cycle;
+* 24-bit single-word instructions with a regular encoding;
+* an ISA of exactly 11 instructions — 8 ALU (add, subtract, shift, logical
+  AND/OR/XOR, full 16x16 multiply), 2 program-flow and 1 general data-move;
+* three memory ports usable in the same cycle: one instruction read, one
+  data read, one data write;
+* addressing modes: register direct, register indirect with pre-/post-
+  increment and decrement, and register indirect with offset; branching in
+  direct and register-indirect mode as well as by an offset, with 15
+  condition modes over the carry/zero/negative/overflow flags.
+
+This package implements that ISA (:mod:`repro.tamarisc.isa`), its 24-bit
+encoding (:mod:`repro.tamarisc.encoding`), a two-pass assembler and a
+disassembler, a program-image container, a cycle-accurate core model with
+the three memory ports (:mod:`repro.tamarisc.cpu`) and a fast functional
+single-core instruction-set simulator (:mod:`repro.tamarisc.iss`).
+"""
+
+from repro.tamarisc.isa import (
+    Op,
+    SrcMode,
+    DstMode,
+    Cond,
+    BranchMode,
+    Instruction,
+    Flags,
+    REG_XR,
+    REG_LR,
+    REG_SP,
+    NUM_REGS,
+    WORD_MASK,
+    INSTR_BITS,
+)
+from repro.tamarisc.encoding import encode, decode
+from repro.tamarisc.assembler import assemble, assemble_file
+from repro.tamarisc.disassembler import disassemble, disassemble_program
+from repro.tamarisc.program import Program, DataImage
+from repro.tamarisc.cpu import Core, MemoryRequest, CoreState
+from repro.tamarisc.iss import InstructionSetSimulator
+
+__all__ = [
+    "Op",
+    "SrcMode",
+    "DstMode",
+    "Cond",
+    "BranchMode",
+    "Instruction",
+    "Flags",
+    "REG_XR",
+    "REG_LR",
+    "REG_SP",
+    "NUM_REGS",
+    "WORD_MASK",
+    "INSTR_BITS",
+    "encode",
+    "decode",
+    "assemble",
+    "assemble_file",
+    "disassemble",
+    "disassemble_program",
+    "Program",
+    "DataImage",
+    "Core",
+    "MemoryRequest",
+    "CoreState",
+    "InstructionSetSimulator",
+]

@@ -1,0 +1,613 @@
+"""Two-pass assembler for TamaRISC.
+
+The Synopsys Processor Designer toolchain of the paper (assembler, linker)
+is replaced by this module.  Syntax overview::
+
+    ; comment (also //)
+    .equ  NSAMP, 512          ; named constant (must be resolvable here)
+    .org  0x10                ; advance location counter (pads with HLT)
+
+    start:
+        li    r1, NSAMP*2     ; pseudo: load 16-bit constant (1..5 words)
+        mov   r2, #7          ; 11-bit immediate move
+        add   r0, r1, #5      ; ALU: dst, src1, src2
+        mov   r3, [r1++]      ; load with post-increment
+        mov   [r2+xr], r3     ; store, register indirect with offset (XR)
+        sub   r0, r0, #1
+        bne   start           ; conditional branch, direct target
+        br    al, pc-2        ; relative branch
+        brx   lr              ; register-indirect branch (always)
+        nop                   ; pseudo: mov r0, r0
+        hlt
+
+Operands: ``rN``/``xr``/``lr``/``sp`` registers, ``#expr`` immediates,
+``[rN]``, ``[rN++]``, ``[rN--]``, ``[++rN]``, ``[--rN]``, ``[rN+xr]``
+memory.  Expressions support integers (``0x``/``0b``/decimal/char),
+symbols, parentheses and ``+ - * / % << >> & ^ |`` with unary ``-``/``~``.
+
+Branch mnemonics: ``br <cond>, <target>`` with cond in {al, eq, ne, cs,
+cc, mi, pl, vs, vc, hi, ls, ge, lt, gt, le}, or the aliases ``bra``,
+``beq``, ``bne``, ... ``ble``.  Targets: an expression (direct absolute),
+``pc±expr`` (relative) or a register (indirect).  ``brx rN`` is an
+unconditional register-indirect branch.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import AssemblerError
+from repro.tamarisc.encoding import encode
+from repro.tamarisc.isa import (
+    BranchMode,
+    Cond,
+    DstMode,
+    Instruction,
+    Op,
+    REG_LR,
+    REG_SP,
+    REG_XR,
+    SrcMode,
+)
+from repro.tamarisc.program import Program
+
+_HLT_WORD = encode(Instruction(op=Op.HLT))
+
+_ALU_MNEMONICS = {
+    "add": Op.ADD,
+    "sub": Op.SUB,
+    "and": Op.AND,
+    "or": Op.OR,
+    "xor": Op.XOR,
+    "sll": Op.SLL,
+    "srl": Op.SRL,
+    "mul": Op.MUL,
+}
+
+_COND_NAMES = {cond.name.lower(): cond for cond in Cond}
+
+_BRANCH_ALIASES = {"bra": Cond.AL}
+_BRANCH_ALIASES.update(
+    {"b" + cond.name.lower(): cond for cond in Cond if cond != Cond.AL}
+)
+
+_REGISTER_NAMES = {"xr": REG_XR, "lr": REG_LR, "sp": REG_SP}
+_REGISTER_NAMES.update({f"r{i}": i for i in range(16)})
+
+_NAME_RE = re.compile(r"[A-Za-z_.$][A-Za-z0-9_.$]*")
+_LABEL_RE = re.compile(r"^([A-Za-z_.$][A-Za-z0-9_.$]*)\s*:")
+
+
+# ---------------------------------------------------------------------------
+# Expression evaluation
+# ---------------------------------------------------------------------------
+
+class _ExprParser:
+    """Recursive-descent parser for assembler constant expressions."""
+
+    _TOKEN_RE = re.compile(
+        r"\s*(?:(0[xX][0-9a-fA-F]+|0[bB][01]+|\d+)|'(\\?.)'"
+        r"|([A-Za-z_.$][A-Za-z0-9_.$]*)|(<<|>>|[()+\-*/%&^|~]))"
+    )
+
+    def __init__(self, text: str, symbols: dict[str, int]):
+        self.tokens = self._tokenize(text)
+        self.pos = 0
+        self.symbols = symbols
+
+    def _tokenize(self, text: str) -> list:
+        tokens = []
+        index = 0
+        while index < len(text):
+            match = self._TOKEN_RE.match(text, index)
+            if not match:
+                if text[index:].strip():
+                    raise AssemblerError(
+                        f"bad expression near {text[index:]!r}"
+                    )
+                break
+            number, char, name, operator = match.groups()
+            if number is not None:
+                tokens.append(("num", int(number, 0)))
+            elif char is not None:
+                value = char[-1]
+                escapes = {"n": "\n", "t": "\t", "0": "\0", "r": "\r"}
+                if char.startswith("\\"):
+                    value = escapes.get(value, value)
+                tokens.append(("num", ord(value)))
+            elif name is not None:
+                tokens.append(("name", name))
+            else:
+                tokens.append(("op", operator))
+            index = match.end()
+        return tokens
+
+    def _peek(self):
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def _next(self):
+        token = self._peek()
+        if token is None:
+            raise AssemblerError("unexpected end of expression")
+        self.pos += 1
+        return token
+
+    def parse(self) -> int:
+        value = self._or()
+        if self._peek() is not None:
+            raise AssemblerError(f"trailing tokens in expression")
+        return value
+
+    def _binary(self, sub, operators):
+        value = sub()
+        while True:
+            token = self._peek()
+            if token is None or token[0] != "op" or token[1] not in operators:
+                return value
+            self._next()
+            rhs = sub()
+            value = operators[token[1]](value, rhs)
+
+    def _or(self):
+        return self._binary(self._xor, {"|": lambda a, b: a | b})
+
+    def _xor(self):
+        return self._binary(self._and, {"^": lambda a, b: a ^ b})
+
+    def _and(self):
+        return self._binary(self._shift, {"&": lambda a, b: a & b})
+
+    def _shift(self):
+        return self._binary(
+            self._addsub,
+            {"<<": lambda a, b: a << b, ">>": lambda a, b: a >> b},
+        )
+
+    def _addsub(self):
+        return self._binary(
+            self._muldiv,
+            {"+": lambda a, b: a + b, "-": lambda a, b: a - b},
+        )
+
+    def _muldiv(self):
+        return self._binary(
+            self._unary,
+            {
+                "*": lambda a, b: a * b,
+                "/": lambda a, b: a // b,
+                "%": lambda a, b: a % b,
+            },
+        )
+
+    def _unary(self):
+        token = self._next()
+        kind, value = token
+        if kind == "op" and value == "-":
+            return -self._unary()
+        if kind == "op" and value == "+":
+            return self._unary()
+        if kind == "op" and value == "~":
+            return ~self._unary()
+        if kind == "op" and value == "(":
+            inner = self._or()
+            closing = self._next()
+            if closing != ("op", ")"):
+                raise AssemblerError("missing closing parenthesis")
+            return inner
+        if kind == "num":
+            return value
+        if kind == "name":
+            if value not in self.symbols:
+                raise KeyError(value)
+            return self.symbols[value]
+        raise AssemblerError(f"unexpected token {value!r} in expression")
+
+
+def evaluate(text: str, symbols: dict[str, int]) -> int:
+    """Evaluate a constant expression against a symbol table.
+
+    Raises ``KeyError`` for an undefined symbol and
+    :class:`~repro.errors.AssemblerError` for malformed syntax.
+    """
+    return _ExprParser(text, symbols).parse()
+
+
+# ---------------------------------------------------------------------------
+# Operand parsing
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class _Operand:
+    kind: str          # "reg" | "imm" | "mem"
+    reg: int = 0
+    expr: str = ""
+    mode: SrcMode = SrcMode.REG
+
+
+def _parse_register(text: str):
+    return _REGISTER_NAMES.get(text.strip().lower())
+
+
+def _parse_operand(text: str) -> _Operand:
+    text = text.strip()
+    if not text:
+        raise AssemblerError("empty operand")
+    reg = _parse_register(text)
+    if reg is not None:
+        return _Operand("reg", reg=reg, mode=SrcMode.REG)
+    if text.startswith("#"):
+        return _Operand("imm", expr=text[1:].strip(), mode=SrcMode.IMM)
+    if text.startswith("[") and text.endswith("]"):
+        inner = text[1:-1].strip()
+        return _parse_memory_operand(inner)
+    raise AssemblerError(f"cannot parse operand {text!r}")
+
+
+def _parse_memory_operand(inner: str) -> _Operand:
+    lowered = inner.replace(" ", "").lower()
+    if lowered.endswith("++"):
+        reg = _parse_register(lowered[:-2])
+        mode = SrcMode.IND_POSTINC
+    elif lowered.endswith("--"):
+        reg = _parse_register(lowered[:-2])
+        mode = SrcMode.IND_POSTDEC
+    elif lowered.startswith("++"):
+        reg = _parse_register(lowered[2:])
+        mode = SrcMode.IND_PREINC
+    elif lowered.startswith("--"):
+        reg = _parse_register(lowered[2:])
+        mode = SrcMode.IND_PREDEC
+    elif lowered.endswith("+xr") or lowered.endswith(f"+r{REG_XR}"):
+        base = lowered.rsplit("+", 1)[0]
+        reg = _parse_register(base)
+        mode = SrcMode.IND_IDX
+    else:
+        reg = _parse_register(lowered)
+        mode = SrcMode.IND
+    if reg is None:
+        raise AssemblerError(f"cannot parse memory operand [{inner}]")
+    return _Operand("mem", reg=reg, mode=mode)
+
+
+_DST_MODE_FROM_SRC = {
+    SrcMode.REG: DstMode.REG,
+    SrcMode.IND: DstMode.IND,
+    SrcMode.IND_POSTINC: DstMode.IND_POSTINC,
+    SrcMode.IND_IDX: DstMode.IND_IDX,
+}
+
+
+def _as_destination(operand: _Operand) -> tuple[DstMode, int]:
+    if operand.kind == "imm":
+        raise AssemblerError("destination cannot be an immediate")
+    mode = _DST_MODE_FROM_SRC.get(operand.mode)
+    if mode is None:
+        raise AssemblerError(
+            "destination supports only [rN], [rN++] and [rN+xr] "
+            "memory modes"
+        )
+    return mode, operand.reg
+
+
+# ---------------------------------------------------------------------------
+# Assembler proper
+# ---------------------------------------------------------------------------
+
+@dataclass
+class _Item:
+    """One source statement surviving pass 1."""
+
+    line: int
+    address: int
+    mnemonic: str
+    operands: list
+    size: int
+
+
+def _strip_comment(line: str) -> str:
+    in_char = False
+    result = []
+    index = 0
+    while index < len(line):
+        char = line[index]
+        if char == "'" and not in_char:
+            in_char = True
+        elif char == "'" and in_char:
+            in_char = False
+        if not in_char:
+            if char == ";":
+                break
+            if char == "/" and line[index: index + 2] == "//":
+                break
+        result.append(char)
+        index += 1
+    return "".join(result).strip()
+
+
+def _split_operands(text: str) -> list[str]:
+    return [part.strip() for part in text.split(",")] if text else []
+
+
+def _li_length(value: int) -> int:
+    value &= 0xFFFF
+    if value <= 0x7FF:
+        return 1
+    if value <= 0x7FFF:
+        return 3
+    return 5
+
+
+def _li_words(dreg: int, value: int) -> list[Instruction]:
+    value &= 0xFFFF
+    movi = lambda v: Instruction(op=Op.MOV, dreg=dreg, s1mode=SrcMode.IMM,
+                                 s1val=v)
+    sll4 = Instruction(op=Op.SLL, dreg=dreg, s1mode=SrcMode.REG, s1val=dreg,
+                       s2mode=SrcMode.IMM, s2val=4)
+    or4 = lambda v: Instruction(op=Op.OR, dreg=dreg, s1mode=SrcMode.REG,
+                                s1val=dreg, s2mode=SrcMode.IMM, s2val=v)
+    if value <= 0x7FF:
+        return [movi(value)]
+    if value <= 0x7FFF:
+        return [movi(value >> 4), sll4, or4(value & 0xF)]
+    return [movi(value >> 8), sll4, or4((value >> 4) & 0xF), sll4,
+            or4(value & 0xF)]
+
+
+class Assembler:
+    """Two-pass TamaRISC assembler."""
+
+    def __init__(self) -> None:
+        self.symbols: dict[str, int] = {}
+        self.labels: set[str] = set()
+
+    # -- public API ---------------------------------------------------------
+
+    def assemble(self, source: str, entry: str | None = None) -> Program:
+        """Assemble source text into a :class:`Program`.
+
+        ``entry`` optionally names the label used as initial PC (default:
+        address 0).
+        """
+        items = self._pass_one(source)
+        words, source_map = self._pass_two(items)
+        label_table = {name: addr for name, addr in self.symbols.items()
+                       if name in self.labels}
+        program = Program(words=words, symbols=label_table,
+                          source_map=source_map)
+        if entry is not None:
+            program.entry = program.symbol(entry)
+        return program
+
+    # -- pass 1: sizes and symbols -------------------------------------------
+
+    def _pass_one(self, source: str) -> list[_Item]:
+        items: list[_Item] = []
+        location = 0
+        for line_no, raw in enumerate(source.splitlines(), start=1):
+            line = _strip_comment(raw)
+            while True:
+                match = _LABEL_RE.match(line)
+                if not match:
+                    break
+                label = match.group(1)
+                if label in self.symbols:
+                    raise AssemblerError(
+                        f"duplicate symbol {label!r}", line_no)
+                self.symbols[label] = location
+                self.labels.add(label)
+                line = line[match.end():].strip()
+            if not line:
+                continue
+            parts = line.split(None, 1)
+            mnemonic = parts[0].lower()
+            operands = _split_operands(parts[1]) if len(parts) > 1 else []
+            try:
+                location = self._pass_one_statement(
+                    items, line_no, location, mnemonic, operands)
+            except AssemblerError:
+                raise
+            except Exception as exc:
+                raise AssemblerError(str(exc), line_no) from exc
+        return items
+
+    def _pass_one_statement(self, items, line_no, location, mnemonic,
+                            operands) -> int:
+        if mnemonic == ".equ":
+            if len(operands) != 2:
+                raise AssemblerError(".equ needs name, value", line_no)
+            name = operands[0]
+            if not _NAME_RE.fullmatch(name):
+                raise AssemblerError(f"bad .equ name {name!r}", line_no)
+            if name in self.symbols:
+                raise AssemblerError(f"duplicate symbol {name!r}", line_no)
+            try:
+                self.symbols[name] = evaluate(operands[1], self.symbols)
+            except KeyError as exc:
+                raise AssemblerError(
+                    f".equ value references undefined symbol {exc}", line_no)
+            return location
+        if mnemonic == ".org":
+            try:
+                target = evaluate(operands[0], self.symbols)
+            except (IndexError, KeyError) as exc:
+                raise AssemblerError(f"bad .org operand: {exc}", line_no)
+            if target < location:
+                raise AssemblerError(".org cannot move backwards", line_no)
+            items.append(_Item(line_no, location, ".org", [target],
+                               target - location))
+            return target
+        size = self._statement_size(line_no, mnemonic, operands)
+        items.append(_Item(line_no, location, mnemonic, operands, size))
+        return location + size
+
+    def _statement_size(self, line_no, mnemonic, operands) -> int:
+        if mnemonic == "li":
+            if len(operands) != 2:
+                raise AssemblerError("li needs register, value", line_no)
+            try:
+                value = evaluate(operands[1], self.symbols)
+            except KeyError:
+                # Forward reference (a label): addresses fit in 15 bits.
+                return 3
+            return _li_length(value)
+        if mnemonic in _ALU_MNEMONICS or mnemonic in ("mov", "br", "brx",
+                                                      "hlt", "nop", ".word"):
+            return 1
+        if mnemonic in _BRANCH_ALIASES:
+            return 1
+        raise AssemblerError(f"unknown mnemonic {mnemonic!r}", line_no)
+
+    # -- pass 2: emission -----------------------------------------------------
+
+    def _pass_two(self, items: list[_Item]):
+        words: list[int] = []
+        source_map: dict[int, int] = {}
+        for item in items:
+            if item.mnemonic == ".org":
+                words.extend([_HLT_WORD] * item.size)
+                continue
+            if len(words) != item.address:
+                raise AssemblerError(
+                    "internal: location counter mismatch", item.line)
+            try:
+                emitted = self._emit(item)
+            except AssemblerError:
+                raise
+            except KeyError as exc:
+                raise AssemblerError(f"undefined symbol {exc}", item.line)
+            except Exception as exc:
+                raise AssemblerError(str(exc), item.line) from exc
+            if len(emitted) != item.size:
+                raise AssemblerError(
+                    f"internal: pass-1 size {item.size} != pass-2 size "
+                    f"{len(emitted)}", item.line)
+            for word in emitted:
+                source_map[len(words)] = item.line
+                words.append(word)
+        return words, source_map
+
+    def _emit(self, item: _Item) -> list[int]:
+        mnemonic, operands = item.mnemonic, item.operands
+        if mnemonic == ".word":
+            return [evaluate(operands[0], self.symbols) & 0xFFFFFF]
+        if mnemonic == "hlt":
+            return [_HLT_WORD]
+        if mnemonic == "nop":
+            return [encode(Instruction(op=Op.MOV, dreg=0,
+                                       s1mode=SrcMode.REG, s1val=0))]
+        if mnemonic == "li":
+            reg = _parse_register(operands[0])
+            if reg is None:
+                raise AssemblerError("li destination must be a register",
+                                     item.line)
+            value = evaluate(operands[1], self.symbols)
+            instructions = _li_words(reg, value)
+            # A forward reference was sized at 3 words in pass 1; pad a
+            # short expansion with NOPs to keep addresses stable.
+            while len(instructions) < item.size:
+                instructions.append(Instruction(op=Op.MOV, dreg=0,
+                                                s1mode=SrcMode.REG, s1val=0))
+            return [encode(instr) for instr in instructions]
+        if mnemonic == "mov":
+            return [self._emit_mov(item)]
+        if mnemonic in _ALU_MNEMONICS:
+            return [self._emit_alu(item)]
+        if mnemonic == "br":
+            if len(operands) < 2:
+                raise AssemblerError("br needs condition, target", item.line)
+            cond = _COND_NAMES.get(operands[0].lower())
+            if cond is None:
+                raise AssemblerError(
+                    f"unknown condition {operands[0]!r}", item.line)
+            return [self._emit_branch(item, cond, operands[1])]
+        if mnemonic == "brx":
+            if len(operands) != 1:
+                raise AssemblerError("brx needs a register", item.line)
+            return [self._emit_branch(item, Cond.AL, operands[0])]
+        if mnemonic in _BRANCH_ALIASES:
+            if len(operands) != 1:
+                raise AssemblerError(
+                    f"{mnemonic} needs a target", item.line)
+            return [self._emit_branch(item, _BRANCH_ALIASES[mnemonic],
+                                      operands[0])]
+        raise AssemblerError(f"unknown mnemonic {mnemonic!r}", item.line)
+
+    def _emit_mov(self, item: _Item) -> int:
+        if len(item.operands) != 2:
+            raise AssemblerError("mov needs destination, source", item.line)
+        dst = _parse_operand(item.operands[0])
+        src = _parse_operand(item.operands[1])
+        dmode, dreg = _as_destination(dst)
+        if src.kind == "imm":
+            value = evaluate(src.expr, self.symbols)
+            if not 0 <= value <= 0x7FF:
+                raise AssemblerError(
+                    f"mov immediate {value} outside 0..2047 (use li)",
+                    item.line)
+            instr = Instruction(op=Op.MOV, dmode=dmode, dreg=dreg,
+                                s1mode=SrcMode.IMM, s1val=value)
+        else:
+            instr = Instruction(op=Op.MOV, dmode=dmode, dreg=dreg,
+                                s1mode=src.mode, s1val=src.reg)
+        return encode(instr)
+
+    def _emit_alu(self, item: _Item) -> int:
+        if len(item.operands) != 3:
+            raise AssemblerError(
+                f"{item.mnemonic} needs destination, source1, source2",
+                item.line)
+        op = _ALU_MNEMONICS[item.mnemonic]
+        dst = _parse_operand(item.operands[0])
+        src1 = _parse_operand(item.operands[1])
+        src2 = _parse_operand(item.operands[2])
+        dmode, dreg = _as_destination(dst)
+        s1mode, s1val = self._source_fields(src1, item)
+        s2mode, s2val = self._source_fields(src2, item)
+        instr = Instruction(op=op, dmode=dmode, dreg=dreg, s1mode=s1mode,
+                            s1val=s1val, s2mode=s2mode, s2val=s2val)
+        try:
+            return encode(instr)
+        except Exception as exc:
+            raise AssemblerError(str(exc), item.line) from exc
+
+    def _source_fields(self, operand: _Operand, item: _Item):
+        if operand.kind == "imm":
+            value = evaluate(operand.expr, self.symbols)
+            if not 0 <= value <= 15:
+                raise AssemblerError(
+                    f"ALU immediate {value} outside 0..15", item.line)
+            return SrcMode.IMM, value
+        return operand.mode, operand.reg
+
+    def _emit_branch(self, item: _Item, cond: Cond, target: str) -> int:
+        target = target.strip()
+        reg = _parse_register(target)
+        if reg is not None:
+            instr = Instruction(op=Op.BR, cond=cond, bmode=BranchMode.IND,
+                                target=reg)
+            return encode(instr)
+        lowered = target.lower()
+        if lowered == "pc" or lowered.startswith(("pc+", "pc-")):
+            offset = 0
+            if len(lowered) > 2:
+                offset = evaluate(target[2:], self.symbols)
+                # target[2:] starts with the sign, e.g. "-2".
+            instr = Instruction(op=Op.BR, cond=cond, bmode=BranchMode.REL,
+                                target=offset)
+            return encode(instr)
+        address = evaluate(target, self.symbols)
+        instr = Instruction(op=Op.BR, cond=cond, bmode=BranchMode.DIR,
+                            target=address)
+        return encode(instr)
+
+
+def assemble(source: str, entry: str | None = None) -> Program:
+    """Assemble TamaRISC source text into a :class:`Program`."""
+    return Assembler().assemble(source, entry=entry)
+
+
+def assemble_file(path, entry: str | None = None) -> Program:
+    """Assemble a TamaRISC source file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return assemble(handle.read(), entry=entry)

@@ -1,0 +1,237 @@
+"""Cycle-accurate TamaRISC core model.
+
+The core retires one instruction per cycle (paper Section III-A: complete
+bypassing, all instructions single-cycle) using up to three memory ports in
+the same cycle: one instruction read, one data read, one data write.
+
+In the multi-core platforms a core may *stall* when one of its memory
+requests loses crossbar arbitration; the stalled core is clock-gated and
+simply reissues the same requests next cycle.  To support that, address
+generation is split from execution:
+
+* :meth:`Core.data_requests` computes the data-read/-write effective
+  addresses of an instruction *without* changing architectural state;
+* :meth:`Core.execute` performs the instruction.
+
+Both methods share one operand-walk routine, so the addresses previewed for
+arbitration always equal the addresses the commit uses (a property test
+checks this).  Operand evaluation order is: source 1, source 2, destination
+address, ALU, destination write — pointer side effects (pre/post
+increment/decrement) from earlier operands are visible to later ones, and a
+register destination write wins over a side effect on the same register.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+from repro.tamarisc.isa import (
+    BranchMode,
+    DstMode,
+    Flags,
+    Instruction,
+    NUM_REGS,
+    Op,
+    REG_XR,
+    SRC_MEM_MODES,
+    SrcMode,
+    WORD_MASK,
+    alu_compute,
+    cond_holds,
+)
+
+#: Program-counter mask: 32 Ki instruction words cover the largest
+#: instruction memory evaluated (96 kB / 3 B).
+PC_MASK = 0x7FFF
+
+
+@dataclass(frozen=True)
+class MemoryRequest:
+    """One memory port request: ``kind`` in {"ifetch", "dread", "dwrite"}."""
+
+    kind: str
+    addr: int
+
+
+@dataclass
+class CoreState:
+    """Snapshot of architectural state, for tests and debugging."""
+
+    regs: list[int]
+    pc: int
+    flags: Flags
+    halted: bool
+
+
+class Core:
+    """One TamaRISC core.
+
+    The core itself is memory-system agnostic: callers fetch the decoded
+    instruction (modelling the instruction port), ask for
+    :meth:`data_requests`, arbitrate them, perform the data read, and then
+    call :meth:`execute` with the loaded value.
+    """
+
+    def __init__(self, pid: int = 0, entry: int = 0):
+        self.pid = pid
+        self.regs = [0] * NUM_REGS
+        self.pc = entry & PC_MASK
+        self.flags = Flags()
+        self.halted = False
+        self.retired = 0
+
+    # -- state helpers -------------------------------------------------------
+
+    def state(self) -> CoreState:
+        return CoreState(list(self.regs), self.pc, self.flags.copy(),
+                         self.halted)
+
+    def reset(self, entry: int = 0) -> None:
+        self.regs = [0] * NUM_REGS
+        self.pc = entry & PC_MASK
+        self.flags = Flags()
+        self.halted = False
+        self.retired = 0
+
+    # -- operand walk ---------------------------------------------------------
+
+    def _walk_addresses(self, instr: Instruction):
+        """Compute (dread_addr, dwrite_addr) without mutating state.
+
+        Mirrors :meth:`execute`'s evaluation order on a scratch register
+        copy so stalled reissues are stable.
+        """
+        if instr.op in (Op.BR, Op.HLT):
+            return None, None
+        scratch = list(self.regs)
+        dread_addr = None
+        addr = self._source_address(instr.s1mode, instr.s1val, scratch)
+        if addr is not None:
+            dread_addr = addr
+        if instr.op != Op.MOV:
+            addr = self._source_address(instr.s2mode, instr.s2val, scratch)
+            if addr is not None:
+                dread_addr = addr
+        dwrite_addr = self._dest_address(instr, scratch)
+        return dread_addr, dwrite_addr
+
+    @staticmethod
+    def _source_address(mode: SrcMode, value: int, regs: list[int]):
+        """Effective address of a memory source; updates pointer in ``regs``."""
+        if mode not in SRC_MEM_MODES:
+            return None
+        if mode == SrcMode.IND:
+            return regs[value]
+        if mode == SrcMode.IND_POSTINC:
+            addr = regs[value]
+            regs[value] = (addr + 1) & WORD_MASK
+            return addr
+        if mode == SrcMode.IND_POSTDEC:
+            addr = regs[value]
+            regs[value] = (addr - 1) & WORD_MASK
+            return addr
+        if mode == SrcMode.IND_PREINC:
+            regs[value] = (regs[value] + 1) & WORD_MASK
+            return regs[value]
+        if mode == SrcMode.IND_PREDEC:
+            regs[value] = (regs[value] - 1) & WORD_MASK
+            return regs[value]
+        # IND_IDX: register indirect with offset register XR.
+        return (regs[value] + regs[REG_XR]) & WORD_MASK
+
+    @staticmethod
+    def _dest_address(instr: Instruction, regs: list[int]):
+        """Effective address of a memory destination; updates pointers."""
+        if instr.dmode == DstMode.REG:
+            return None
+        if instr.dmode == DstMode.IND:
+            return regs[instr.dreg]
+        if instr.dmode == DstMode.IND_POSTINC:
+            addr = regs[instr.dreg]
+            regs[instr.dreg] = (addr + 1) & WORD_MASK
+            return addr
+        # IND_IDX
+        return (regs[instr.dreg] + regs[REG_XR]) & WORD_MASK
+
+    # -- public stepping API ---------------------------------------------------
+
+    def fetch_request(self) -> MemoryRequest:
+        """The instruction-port request for the current cycle."""
+        return MemoryRequest("ifetch", self.pc)
+
+    def data_requests(self, instr: Instruction):
+        """Data-port requests for ``instr``: (dread or None, dwrite or None)."""
+        dread_addr, dwrite_addr = self._walk_addresses(instr)
+        dread = MemoryRequest("dread", dread_addr) if dread_addr is not None \
+            else None
+        dwrite = MemoryRequest("dwrite", dwrite_addr) \
+            if dwrite_addr is not None else None
+        return dread, dwrite
+
+    def execute(self, instr: Instruction, dread_value: int | None = None):
+        """Retire ``instr``.
+
+        ``dread_value`` must carry the loaded word when the instruction has
+        a memory source.  Returns ``(dwrite_addr, dwrite_value)`` when the
+        instruction stores, else ``None``.
+        """
+        if self.halted:
+            raise SimulationError("executing on a halted core")
+        if instr.op == Op.HLT:
+            self.halted = True
+            self.retired += 1
+            return None
+        if instr.op == Op.BR:
+            self._execute_branch(instr)
+            self.retired += 1
+            return None
+
+        regs = self.regs
+        value1, used = self._source_value(instr.s1mode, instr.s1val, regs,
+                                          dread_value, False, instr.op)
+        if instr.op == Op.MOV:
+            result = value1
+            new_flags = self.flags
+        else:
+            value2, used = self._source_value(instr.s2mode, instr.s2val,
+                                              regs, dread_value, used,
+                                              instr.op)
+            result, new_flags = alu_compute(instr.op, value1, value2,
+                                            self.flags)
+        dwrite_addr = self._dest_address(instr, regs)
+        self.flags = new_flags
+        store = None
+        if dwrite_addr is None:
+            regs[instr.dreg] = result
+        else:
+            store = (dwrite_addr, result)
+        self.pc = (self.pc + 1) & PC_MASK
+        self.retired += 1
+        return store
+
+    def _source_value(self, mode, value, regs, dread_value, mem_used, op):
+        """Operand value; consumes ``dread_value`` for the memory source."""
+        if mode == SrcMode.REG:
+            return regs[value], mem_used
+        if mode == SrcMode.IMM:
+            return value, mem_used
+        if mem_used:
+            raise SimulationError(
+                "instruction with two memory sources reached execute")
+        self._source_address(mode, value, regs)
+        if dread_value is None:
+            raise SimulationError(
+                "memory source executed without a loaded value")
+        return dread_value & WORD_MASK, True
+
+    def _execute_branch(self, instr: Instruction) -> None:
+        if not cond_holds(instr.cond, self.flags):
+            self.pc = (self.pc + 1) & PC_MASK
+            return
+        if instr.bmode == BranchMode.DIR:
+            self.pc = instr.target & PC_MASK
+        elif instr.bmode == BranchMode.REL:
+            self.pc = (self.pc + instr.target) & PC_MASK
+        else:
+            self.pc = self.regs[instr.target] & PC_MASK

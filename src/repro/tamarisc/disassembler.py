@@ -1,0 +1,103 @@
+"""Disassembler for TamaRISC instruction words.
+
+Produces text in the same syntax the assembler accepts, so that
+``assemble(disassemble(word)) == word`` (round-trip property, tested with
+hypothesis).
+"""
+
+from __future__ import annotations
+
+from repro.tamarisc.encoding import decode
+from repro.tamarisc.isa import (
+    BranchMode,
+    Cond,
+    DstMode,
+    Instruction,
+    Op,
+    SrcMode,
+)
+from repro.tamarisc.program import Program
+
+_OP_MNEMONICS = {
+    Op.ADD: "add",
+    Op.SUB: "sub",
+    Op.AND: "and",
+    Op.OR: "or",
+    Op.XOR: "xor",
+    Op.SLL: "sll",
+    Op.SRL: "srl",
+    Op.MUL: "mul",
+    Op.MOV: "mov",
+}
+
+
+def _reg(index: int) -> str:
+    return f"r{index}"
+
+
+def _src_text(mode: SrcMode, value: int) -> str:
+    if mode == SrcMode.REG:
+        return _reg(value)
+    if mode == SrcMode.IMM:
+        return f"#{value}"
+    if mode == SrcMode.IND:
+        return f"[{_reg(value)}]"
+    if mode == SrcMode.IND_POSTINC:
+        return f"[{_reg(value)}++]"
+    if mode == SrcMode.IND_POSTDEC:
+        return f"[{_reg(value)}--]"
+    if mode == SrcMode.IND_PREINC:
+        return f"[++{_reg(value)}]"
+    if mode == SrcMode.IND_PREDEC:
+        return f"[--{_reg(value)}]"
+    return f"[{_reg(value)}+xr]"
+
+
+def _dst_text(mode: DstMode, reg: int) -> str:
+    if mode == DstMode.REG:
+        return _reg(reg)
+    if mode == DstMode.IND:
+        return f"[{_reg(reg)}]"
+    if mode == DstMode.IND_POSTINC:
+        return f"[{_reg(reg)}++]"
+    return f"[{_reg(reg)}+xr]"
+
+
+def disassemble_instruction(instr: Instruction) -> str:
+    """Render one decoded instruction as assembler text."""
+    if instr.op == Op.HLT:
+        return "hlt"
+    if instr.op == Op.BR:
+        cond = instr.cond.name.lower()
+        if instr.bmode == BranchMode.DIR:
+            return f"br {cond}, {instr.target}"
+        if instr.bmode == BranchMode.REL:
+            sign = "+" if instr.target >= 0 else "-"
+            return f"br {cond}, pc{sign}{abs(instr.target)}"
+        return f"br {cond}, {_reg(instr.target)}"
+    mnemonic = _OP_MNEMONICS[instr.op]
+    dst = _dst_text(instr.dmode, instr.dreg)
+    src1 = _src_text(instr.s1mode, instr.s1val)
+    if instr.op == Op.MOV:
+        return f"{mnemonic} {dst}, {src1}"
+    src2 = _src_text(instr.s2mode, instr.s2val)
+    return f"{mnemonic} {dst}, {src1}, {src2}"
+
+
+def disassemble(word: int) -> str:
+    """Disassemble a 24-bit instruction word."""
+    return disassemble_instruction(decode(word))
+
+
+def disassemble_program(program: Program) -> str:
+    """Produce a listing of a whole program with addresses and labels."""
+    labels_at: dict[int, list[str]] = {}
+    for name, address in sorted(program.symbols.items()):
+        labels_at.setdefault(address, []).append(name)
+    lines = []
+    for address, word in enumerate(program.words):
+        for label in labels_at.get(address, []):
+            lines.append(f"{label}:")
+        text = disassemble(word)
+        lines.append(f"    {address:#06x}: {word:06x}  {text}")
+    return "\n".join(lines)

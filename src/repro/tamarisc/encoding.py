@@ -1,0 +1,178 @@
+"""24-bit TamaRISC instruction-word encoding.
+
+The paper requires a *regular* encoding: fixed bit positions so operand
+fetch decodes independently of the operation.  The layout used here:
+
+ALU ops and ``MOV`` (bit 23 .. bit 0)::
+
+    | op(4) | dmode(2) | dreg(4) | s1mode(3) | s1val(4) | s2mode(3) | s2val(4) |
+      23..20  19..18     17..14    13..11      10..7      6..4        3..0
+
+``MOV`` with an immediate source reuses the eleven bits 10..0 as the
+immediate value (``s1val`` high 4 bits, then ``s2mode``, then ``s2val``).
+
+``BR``::
+
+    | op(4) | cond(4) | bmode(2) | target(14) |
+      23..20  19..16    15..14     13..0
+
+``REL`` targets store a 14-bit two's-complement offset; ``IND`` targets
+store the register number in the low 4 bits.  ``HLT`` encodes as the opcode
+with all remaining bits zero.
+"""
+
+from __future__ import annotations
+
+from repro.errors import EncodingError
+from repro.tamarisc.isa import (
+    BRANCH_FIELD_BITS,
+    BranchMode,
+    Cond,
+    DstMode,
+    IMM11_MAX,
+    INSTR_MASK,
+    Instruction,
+    Op,
+    SrcMode,
+)
+
+_BRANCH_FIELD_MASK = (1 << BRANCH_FIELD_BITS) - 1
+_REL_MIN = -(1 << (BRANCH_FIELD_BITS - 1))
+_REL_MAX = (1 << (BRANCH_FIELD_BITS - 1)) - 1
+
+
+def encode(instr: Instruction) -> int:
+    """Encode a decoded instruction into its 24-bit word.
+
+    Raises :class:`~repro.errors.EncodingError` when a field does not fit.
+    """
+    try:
+        instr.validate()
+    except ValueError as exc:
+        raise EncodingError(str(exc)) from exc
+
+    if instr.op == Op.HLT:
+        return int(Op.HLT) << 20
+
+    if instr.op == Op.BR:
+        if instr.cond == 15:
+            raise EncodingError("condition encoding 15 is reserved")
+        if instr.bmode == BranchMode.DIR:
+            if not 0 <= instr.target <= _BRANCH_FIELD_MASK:
+                raise EncodingError(
+                    f"direct branch target {instr.target} exceeds "
+                    f"{BRANCH_FIELD_BITS} bits"
+                )
+            field = instr.target
+        elif instr.bmode == BranchMode.REL:
+            if not _REL_MIN <= instr.target <= _REL_MAX:
+                raise EncodingError(
+                    f"relative branch offset {instr.target} out of range"
+                )
+            field = instr.target & _BRANCH_FIELD_MASK
+        elif instr.bmode == BranchMode.IND:
+            if not 0 <= instr.target <= 15:
+                raise EncodingError("indirect branch register out of range")
+            field = instr.target
+        else:
+            raise EncodingError(f"illegal branch mode {instr.bmode}")
+        return (
+            (int(Op.BR) << 20)
+            | (int(instr.cond) << 16)
+            | (int(instr.bmode) << 14)
+            | field
+        )
+
+    # ALU ops and MOV share the regular three-operand format.
+    _check_reg("dreg", instr.dreg)
+    word = (
+        (int(instr.op) << 20)
+        | (int(instr.dmode) << 18)
+        | (instr.dreg << 14)
+        | (int(instr.s1mode) << 11)
+    )
+    if instr.op == Op.MOV and instr.s1mode == SrcMode.IMM:
+        if not 0 <= instr.s1val <= IMM11_MAX:
+            raise EncodingError("MOV immediate exceeds 11 bits")
+        return word | instr.s1val
+    _check_field("s1val", instr.s1val)
+    word |= instr.s1val << 7
+    if instr.op == Op.MOV:
+        if instr.s2mode != SrcMode.REG or instr.s2val != 0:
+            raise EncodingError("MOV has a single source operand")
+        return word
+    _check_field("s2val", instr.s2val)
+    return word | (int(instr.s2mode) << 4) | instr.s2val
+
+
+def decode(word: int) -> Instruction:
+    """Decode a 24-bit instruction word.
+
+    Raises :class:`~repro.errors.EncodingError` for illegal encodings
+    (unknown opcode, reserved condition/branch mode, nonzero HLT operand
+    bits).
+    """
+    if not 0 <= word <= INSTR_MASK:
+        raise EncodingError(f"instruction word {word:#x} exceeds 24 bits")
+    opcode = word >> 20
+    try:
+        op = Op(opcode)
+    except ValueError as exc:
+        raise EncodingError(f"illegal opcode {opcode}") from exc
+
+    if op == Op.HLT:
+        if word & 0xFFFFF:
+            raise EncodingError("HLT with nonzero operand bits")
+        return Instruction(op=Op.HLT)
+
+    if op == Op.BR:
+        cond_bits = (word >> 16) & 0xF
+        if cond_bits == 15:
+            raise EncodingError("condition encoding 15 is reserved")
+        bmode_bits = (word >> 14) & 0x3
+        if bmode_bits == 3:
+            raise EncodingError("branch mode 3 is reserved")
+        bmode = BranchMode(bmode_bits)
+        field = word & _BRANCH_FIELD_MASK
+        if bmode == BranchMode.REL and field > _REL_MAX:
+            field -= 1 << BRANCH_FIELD_BITS
+        if bmode == BranchMode.IND and field > 15:
+            raise EncodingError("indirect branch register field exceeds 4 bits")
+        return Instruction(op=Op.BR, cond=Cond(cond_bits), bmode=bmode,
+                           target=field)
+
+    dmode = DstMode((word >> 18) & 0x3)
+    dreg = (word >> 14) & 0xF
+    s1mode = SrcMode((word >> 11) & 0x7)
+    if op == Op.MOV:
+        if s1mode == SrcMode.IMM:
+            return Instruction(op=op, dmode=dmode, dreg=dreg,
+                               s1mode=s1mode, s1val=word & 0x7FF)
+        if word & 0x7F:
+            raise EncodingError("MOV with nonzero second-source bits")
+        return Instruction(op=op, dmode=dmode, dreg=dreg,
+                           s1mode=s1mode, s1val=(word >> 7) & 0xF)
+    instr = Instruction(
+        op=op,
+        dmode=dmode,
+        dreg=dreg,
+        s1mode=s1mode,
+        s1val=(word >> 7) & 0xF,
+        s2mode=SrcMode((word >> 4) & 0x7),
+        s2val=word & 0xF,
+    )
+    try:
+        instr.validate()
+    except ValueError as exc:
+        raise EncodingError(str(exc)) from exc
+    return instr
+
+
+def _check_reg(name: str, value: int) -> None:
+    if not 0 <= value <= 15:
+        raise EncodingError(f"{name} {value} is not a register number")
+
+
+def _check_field(name: str, value: int) -> None:
+    if not 0 <= value <= 15:
+        raise EncodingError(f"{name} {value} exceeds 4 bits")

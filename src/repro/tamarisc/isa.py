@@ -1,0 +1,346 @@
+"""TamaRISC instruction-set architecture definitions.
+
+The ISA follows Section III-A of the paper: 11 instructions total (8 ALU,
+2 program-flow, 1 data-move), 16-bit data words, 24-bit single-word
+instructions, 16 registers, and the addressing modes listed there.
+
+Where the paper leaves encoding details unspecified we make the following
+documented choices (they do not affect any evaluated quantity, which depends
+only on instruction *counts* and memory *access patterns*):
+
+* ``R13`` doubles as the dedicated *index register* ``XR``: the "register
+  indirect with offset" addressing mode computes ``[Rn + XR]``.  A dedicated
+  offset register keeps every instruction single-word as the paper requires.
+* ``R14``/``R15`` are plain registers that the assembler also accepts under
+  the conventional aliases ``LR`` (link) and ``SP`` (stack).
+* The two program-flow instructions are ``BR`` (conditional branch, with
+  direct, register-indirect and PC-relative-offset target modes and the 15
+  condition modes of the paper) and ``HLT`` (halt / wait-for-event, which a
+  duty-cycled biosignal node needs to sleep between sample blocks).
+* ``MUL`` retires the low 16 bits of the full 16x16 product and flags
+  overflow in ``V``; the benchmark kernels never need the high half.
+* The data-move instruction ``MOV`` reuses the second source-operand field
+  as immediate extension bits, giving an 11-bit unsigned immediate
+  (``MOV rd, #imm11``).  Larger constants are built by the assembler
+  pseudo-instruction ``LI`` out of single-word instructions.
+
+Every instruction may use at most one data-memory *read* operand and at most
+one data-memory *write* operand, matching the core's three memory ports
+(instruction read, data read, data write — all usable in the same cycle).
+``MOV [rd++], [rs++]`` is therefore a legal single-cycle memory-to-memory
+copy.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+# ---------------------------------------------------------------------------
+# Machine parameters (paper Section III-A).
+# ---------------------------------------------------------------------------
+
+#: Number of working registers.
+NUM_REGS = 16
+#: Data word width in bits.
+WORD_BITS = 16
+#: Mask for a data word.
+WORD_MASK = (1 << WORD_BITS) - 1
+#: Instruction word width in bits.
+INSTR_BITS = 24
+#: Mask for an instruction word.
+INSTR_MASK = (1 << INSTR_BITS) - 1
+#: Bytes per instruction word (the paper counts program size in bytes:
+#: the benchmark uses 552 B = 184 instruction words).
+INSTR_BYTES = 3
+
+#: Index register used by the ``[Rn + XR]`` addressing mode.
+REG_XR = 13
+#: Conventional link register (assembler alias only).
+REG_LR = 14
+#: Conventional stack pointer (assembler alias only).
+REG_SP = 15
+
+#: Maximum value of the 4-bit source immediate.
+IMM4_MAX = 15
+#: Maximum value of the 11-bit MOV immediate.
+IMM11_MAX = (1 << 11) - 1
+#: Width of branch target / offset field.
+BRANCH_FIELD_BITS = 14
+BRANCH_TARGET_MAX = (1 << BRANCH_FIELD_BITS) - 1
+
+
+class Op(enum.IntEnum):
+    """The 11 TamaRISC opcodes: 8 ALU + 1 data-move + 2 program-flow."""
+
+    ADD = 0
+    SUB = 1
+    AND = 2
+    OR = 3
+    XOR = 4
+    SLL = 5
+    SRL = 6
+    MUL = 7
+    MOV = 8
+    BR = 9
+    HLT = 10
+
+
+#: The eight ALU opcodes (3-operand, identical addressing-mode options).
+ALU_OPS = frozenset(
+    {Op.ADD, Op.SUB, Op.AND, Op.OR, Op.XOR, Op.SLL, Op.SRL, Op.MUL}
+)
+
+
+class SrcMode(enum.IntEnum):
+    """Source-operand addressing modes (3-bit field).
+
+    ``IND_*`` modes read data memory; the pre/post increment/decrement
+    variants update the pointer register as a side effect.
+    """
+
+    REG = 0          #: register direct
+    IMM = 1          #: 4-bit immediate (11-bit for MOV)
+    IND = 2          #: ``[Rn]``
+    IND_POSTINC = 3  #: ``[Rn++]``
+    IND_POSTDEC = 4  #: ``[Rn--]``
+    IND_PREINC = 5   #: ``[++Rn]``
+    IND_PREDEC = 6   #: ``[--Rn]``
+    IND_IDX = 7      #: ``[Rn + XR]`` — register indirect with offset
+
+
+class DstMode(enum.IntEnum):
+    """Destination-operand addressing modes (2-bit field)."""
+
+    REG = 0          #: register direct
+    IND = 1          #: ``[Rd]``
+    IND_POSTINC = 2  #: ``[Rd++]``
+    IND_IDX = 3      #: ``[Rd + XR]``
+
+
+#: Source modes that perform a data-memory read.
+SRC_MEM_MODES = frozenset(
+    {
+        SrcMode.IND,
+        SrcMode.IND_POSTINC,
+        SrcMode.IND_POSTDEC,
+        SrcMode.IND_PREINC,
+        SrcMode.IND_PREDEC,
+        SrcMode.IND_IDX,
+    }
+)
+
+#: Destination modes that perform a data-memory write.
+DST_MEM_MODES = frozenset({DstMode.IND, DstMode.IND_POSTINC, DstMode.IND_IDX})
+
+
+class Cond(enum.IntEnum):
+    """Branch condition modes over the C/Z/N/V status flags.
+
+    The paper specifies "15 different condition modes"; we provide ``AL``
+    (always) plus the 14 flag-dependent modes below, i.e. 15 usable modes.
+    Encoding 15 is reserved and raises on decode.
+    """
+
+    AL = 0   #: always
+    EQ = 1   #: Z
+    NE = 2   #: not Z
+    CS = 3   #: C
+    CC = 4   #: not C
+    MI = 5   #: N
+    PL = 6   #: not N
+    VS = 7   #: V
+    VC = 8   #: not V
+    HI = 9   #: C and not Z (unsigned >)
+    LS = 10  #: not C or Z (unsigned <=)
+    GE = 11  #: N == V (signed >=)
+    LT = 12  #: N != V (signed <)
+    GT = 13  #: not Z and N == V (signed >)
+    LE = 14  #: Z or N != V (signed <=)
+
+
+class BranchMode(enum.IntEnum):
+    """Branch target modes (paper: direct, register indirect, by offset)."""
+
+    DIR = 0  #: absolute 14-bit instruction address
+    REL = 1  #: signed 14-bit offset relative to the branch instruction
+    IND = 2  #: target read from a register
+
+
+@dataclass
+class Flags:
+    """Processor status flags: carry, zero, negative, overflow."""
+
+    c: bool = False
+    z: bool = False
+    n: bool = False
+    v: bool = False
+
+    def copy(self) -> "Flags":
+        return Flags(self.c, self.z, self.n, self.v)
+
+    def as_tuple(self) -> tuple[bool, bool, bool, bool]:
+        return (self.c, self.z, self.n, self.v)
+
+
+def cond_holds(cond: int, flags: Flags) -> bool:
+    """Evaluate a branch condition mode against the status flags."""
+    c, z, n, v = flags.c, flags.z, flags.n, flags.v
+    if cond == Cond.AL:
+        return True
+    if cond == Cond.EQ:
+        return z
+    if cond == Cond.NE:
+        return not z
+    if cond == Cond.CS:
+        return c
+    if cond == Cond.CC:
+        return not c
+    if cond == Cond.MI:
+        return n
+    if cond == Cond.PL:
+        return not n
+    if cond == Cond.VS:
+        return v
+    if cond == Cond.VC:
+        return not v
+    if cond == Cond.HI:
+        return c and not z
+    if cond == Cond.LS:
+        return (not c) or z
+    if cond == Cond.GE:
+        return n == v
+    if cond == Cond.LT:
+        return n != v
+    if cond == Cond.GT:
+        return (not z) and n == v
+    if cond == Cond.LE:
+        return z or n != v
+    raise ValueError(f"illegal condition mode {cond}")
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A decoded TamaRISC instruction.
+
+    For ALU ops and ``MOV``: ``dmode``/``dreg`` describe the destination,
+    ``s1mode``/``s1val`` and ``s2mode``/``s2val`` the sources (``MOV`` only
+    uses source 1; an immediate ``MOV`` stores the 11-bit value in
+    ``s1val``).
+
+    For ``BR``: ``cond`` holds the condition mode, ``bmode`` the target
+    mode and ``target`` either the absolute address (``DIR``), the signed
+    offset (``REL``) or the register number (``IND``).
+    """
+
+    op: Op
+    dmode: DstMode = DstMode.REG
+    dreg: int = 0
+    s1mode: SrcMode = SrcMode.REG
+    s1val: int = 0
+    s2mode: SrcMode = SrcMode.REG
+    s2val: int = 0
+    cond: Cond = Cond.AL
+    bmode: BranchMode = BranchMode.DIR
+    target: int = 0
+
+    # -- structural queries -------------------------------------------------
+
+    def reads_mem(self) -> bool:
+        """True if any source operand reads data memory."""
+        if self.op == Op.BR or self.op == Op.HLT:
+            return False
+        if self.s1mode in SRC_MEM_MODES:
+            return True
+        return self.op != Op.MOV and self.s2mode in SRC_MEM_MODES
+
+    def writes_mem(self) -> bool:
+        """True if the destination operand writes data memory."""
+        if self.op == Op.BR or self.op == Op.HLT:
+            return False
+        return self.dmode in DST_MEM_MODES
+
+    def validate(self) -> None:
+        """Check the port constraints (one D-read, one D-write).
+
+        Raises ``ValueError`` on an instruction the hardware cannot issue.
+        """
+        if self.op in (Op.BR, Op.HLT):
+            return
+        n_reads = int(self.s1mode in SRC_MEM_MODES)
+        if self.op != Op.MOV:
+            n_reads += int(self.s2mode in SRC_MEM_MODES)
+        if n_reads > 1:
+            raise ValueError(
+                "instruction needs two data-read ports; the core has one"
+            )
+        if self.op == Op.MOV and self.s1mode == SrcMode.IMM:
+            if self.s1val > IMM11_MAX:
+                raise ValueError("MOV immediate exceeds 11 bits")
+        elif self.s1mode == SrcMode.IMM and self.s1val > IMM4_MAX:
+            raise ValueError("source-1 immediate exceeds 4 bits")
+        if self.op != Op.MOV:
+            if self.s2mode == SrcMode.IMM and self.s2val > IMM4_MAX:
+                raise ValueError("source-2 immediate exceeds 4 bits")
+
+
+def alu_compute(op: int, a: int, b: int, flags: Flags) -> tuple[int, Flags]:
+    """Evaluate one ALU operation on 16-bit operands.
+
+    Returns ``(result, new_flags)``.  Flag semantics:
+
+    * ``ADD``/``SUB`` update all four flags; ``SUB`` computes ``a - b`` with
+      ARM-style carry-as-not-borrow.
+    * ``AND``/``OR``/``XOR`` update Z/N and preserve C/V.
+    * ``SLL``/``SRL`` update Z/N, set C to the last bit shifted out (0 for a
+      zero shift amount) and preserve V; the shift amount is ``b & 15``.
+    * ``MUL`` retires the low 16 bits, updates Z/N, sets V when the full
+      product does not fit in 16 bits and preserves C.
+    """
+    a &= WORD_MASK
+    b &= WORD_MASK
+    c, z, n, v = flags.c, flags.z, flags.n, flags.v
+    if op == Op.ADD:
+        full = a + b
+        res = full & WORD_MASK
+        c = full > WORD_MASK
+        v = bool(~(a ^ b) & (a ^ res) & 0x8000)
+    elif op == Op.SUB:
+        full = a - b
+        res = full & WORD_MASK
+        c = a >= b
+        v = bool((a ^ b) & (a ^ res) & 0x8000)
+    elif op == Op.AND:
+        res = a & b
+    elif op == Op.OR:
+        res = a | b
+    elif op == Op.XOR:
+        res = a ^ b
+    elif op == Op.SLL:
+        sh = b & 15
+        res = (a << sh) & WORD_MASK
+        c = bool((a >> (WORD_BITS - sh)) & 1) if sh else False
+    elif op == Op.SRL:
+        sh = b & 15
+        res = (a >> sh) & WORD_MASK
+        c = bool((a >> (sh - 1)) & 1) if sh else False
+    elif op == Op.MUL:
+        full = a * b
+        res = full & WORD_MASK
+        v = full > WORD_MASK
+    else:
+        raise ValueError(f"not an ALU opcode: {op}")
+    z = res == 0
+    n = bool(res & 0x8000)
+    return res, Flags(c, z, n, v)
+
+
+def to_signed(word: int) -> int:
+    """Interpret a 16-bit word as a signed integer."""
+    word &= WORD_MASK
+    return word - 0x10000 if word & 0x8000 else word
+
+
+def to_word(value: int) -> int:
+    """Truncate a Python integer to a 16-bit word."""
+    return value & WORD_MASK

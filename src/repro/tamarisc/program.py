@@ -1,0 +1,99 @@
+"""Program and data images for the TamaRISC platforms.
+
+A :class:`Program` is an ordered list of 24-bit instruction words plus a
+symbol table, as produced by the assembler.  The paper counts program size
+in bytes at 3 bytes per 24-bit word (the reference benchmark occupies
+552 B = 184 words).
+
+A :class:`DataImage` is the initial data-memory content in the *logical*
+(pre-MMU) address space: one map for the shared section (identical for all
+cores, e.g. the CS random vector and Huffman LUTs) and one map per core for
+the private window (e.g. each lead's input samples).  The platform loader
+translates logical addresses through the MMU of the target architecture to
+fill the physical banks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+from repro.tamarisc.encoding import decode
+from repro.tamarisc.isa import INSTR_BYTES, INSTR_MASK, WORD_MASK, Instruction
+
+
+@dataclass
+class Program:
+    """An assembled TamaRISC program.
+
+    Attributes:
+        words: the 24-bit instruction words, index = instruction address.
+        symbols: label name -> instruction address.
+        source_map: instruction address -> source line number (1-based),
+            when the program came from assembly text.
+        entry: initial program counter.
+    """
+
+    words: list[int]
+    symbols: dict[str, int] = field(default_factory=dict)
+    source_map: dict[int, int] = field(default_factory=dict)
+    entry: int = 0
+
+    def __post_init__(self) -> None:
+        for index, word in enumerate(self.words):
+            if not 0 <= word <= INSTR_MASK:
+                raise SimulationError(
+                    f"program word {index} = {word:#x} exceeds 24 bits"
+                )
+
+    def __len__(self) -> int:
+        return len(self.words)
+
+    @property
+    def size_bytes(self) -> int:
+        """Program footprint in bytes (3 bytes per instruction word)."""
+        return len(self.words) * INSTR_BYTES
+
+    def decoded(self) -> list[Instruction]:
+        """Decode every word once (the simulators cache this list)."""
+        return [decode(word) for word in self.words]
+
+    def symbol(self, name: str) -> int:
+        if name not in self.symbols:
+            raise KeyError(f"unknown symbol {name!r}")
+        return self.symbols[name]
+
+
+@dataclass
+class DataImage:
+    """Initial data-memory content in logical (pre-MMU) addresses.
+
+    Attributes:
+        shared: logical shared-section word address -> 16-bit value; loaded
+            once, visible identically to all cores.
+        private: core id -> (logical private-window word address -> value);
+            loaded through that core's MMU mapping.
+    """
+
+    shared: dict[int, int] = field(default_factory=dict)
+    private: dict[int, dict[int, int]] = field(default_factory=dict)
+
+    def set_shared_block(self, base: int, values) -> None:
+        """Place consecutive 16-bit words at ``base`` in the shared section."""
+        for offset, value in enumerate(values):
+            self.shared[base + offset] = value & WORD_MASK
+
+    def set_private_block(self, core: int, base: int, values) -> None:
+        """Place consecutive words at ``base`` in ``core``'s private window."""
+        store = self.private.setdefault(core, {})
+        for offset, value in enumerate(values):
+            store[base + offset] = value & WORD_MASK
+
+    @property
+    def shared_bytes(self) -> int:
+        """Footprint of the shared section in bytes (2 bytes per word)."""
+        return 2 * len(self.shared)
+
+    def private_bytes(self, core: int) -> int:
+        """Footprint of one core's initialised private words in bytes."""
+        return 2 * len(self.private.get(core, {}))

@@ -1,0 +1,62 @@
+"""TamaC — the custom C-like compiler of the paper's toolchain.
+
+The paper's flow (Fig. 4) extends the Processor Designer tool chain "by a
+custom C compiler ... [which] allows for easier benchmark development".
+TamaC is that component for this reproduction: a small, fully tested
+compiler from a C-like language to TamaRISC assembly, layered on the
+assembler of :mod:`repro.tamarisc.assembler`.
+
+Language summary (details in :mod:`repro.tamarisc.tamac.parser`)::
+
+    var threshold = 40;          // 16-bit global (optional initialiser)
+    var hist[16];                // 16-bit global array
+
+    func clamp(x, lo, hi) {
+        if (x < lo) { return lo; }
+        if (x > hi) { return hi; }
+        return x;
+    }
+
+    func main() {
+        var i;
+        i = 0;
+        while (i < 16) {
+            hist[i] = clamp(i * 3 - 8, 0, threshold);
+            i = i + 1;
+        }
+        return;
+    }
+
+Semantics:
+
+* every value is a 16-bit word; arithmetic wraps; comparisons are
+  *signed* (they compile to the SUB-and-condition-mode idiom);
+* operators: ``+ - * & | ^ << >>``, unary ``- ~ !``, comparisons,
+  ``&&``/``||`` (evaluated without short-circuit, both sides normalised
+  to 0/1 — documented deviation from C);
+* there is no division operator: TamaRISC has no divider (the ISA's 8
+  ALU ops are the paper's add/sub/shift/and/or/xor/multiply);
+* functions are non-recursive (statically allocated frames — the core
+  has no hardware stack and the target applications need none); the
+  compiler rejects recursion, including mutual recursion, at compile
+  time;
+* globals and frames live in the core-private data window, so one
+  compiled image runs on all eight cores with per-PID working data,
+  exactly like the hand-written benchmark.
+
+Use :func:`compile_source` for assembly text or :func:`compile_program`
+for a loadable :class:`~repro.tamarisc.program.Program`.
+"""
+
+from repro.tamarisc.tamac.lexer import Token, TokenKind, tokenize
+from repro.tamarisc.tamac.parser import parse
+from repro.tamarisc.tamac.codegen import compile_program, compile_source
+
+__all__ = [
+    "Token",
+    "TokenKind",
+    "tokenize",
+    "parse",
+    "compile_source",
+    "compile_program",
+]

@@ -1,0 +1,102 @@
+"""TamaC lexer."""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+
+
+class CompileError(ReproError):
+    """TamaC source is malformed or uses unsupported constructs."""
+
+    def __init__(self, message, line=None):
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class TokenKind(enum.Enum):
+    NUMBER = "number"
+    IDENT = "ident"
+    KEYWORD = "keyword"
+    OP = "op"
+    END = "end"
+
+
+KEYWORDS = frozenset({"var", "func", "if", "else", "while", "return"})
+
+#: Multi-character operators first so maximal munch works.
+_OPERATORS = ("<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+              "+", "-", "*", "/", "%", "&", "|", "^", "~", "!",
+              "<", ">", "=", "(", ")", "{", "}", "[", "]", ";", ",")
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(//[^\n]*|/\*.*?\*/)"
+    r"|(0[xX][0-9a-fA-F]+|0[bB][01]+|\d+)"
+    r"|'(\\?.)'"
+    r"|([A-Za-z_][A-Za-z0-9_]*)"
+    r"|(" + "|".join(re.escape(op) for op in _OPERATORS) + r"))",
+    re.DOTALL,
+)
+
+_CHAR_ESCAPES = {"n": 10, "t": 9, "r": 13, "0": 0}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    value: object
+    line: int
+
+    def __repr__(self):
+        return f"Token({self.kind.value}, {self.value!r}, line {self.line})"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenise TamaC source; raises :class:`CompileError` on bad input."""
+    tokens: list[Token] = []
+    index = 0
+    while index < len(source):
+        match = _TOKEN_RE.match(source, index)
+        if not match or match.end() == index:
+            remainder = source[index:]
+            if not remainder.strip():
+                break
+            bad = remainder.lstrip()[0]
+            raise CompileError(
+                f"unexpected character {bad!r}",
+                source.count("\n", 0, index + len(remainder)
+                             - len(remainder.lstrip())) + 1)
+        comment, number, char, ident, operator = match.groups()
+        group = next(i for i, g in enumerate(match.groups(), start=1)
+                     if g is not None)
+        token_line = source.count("\n", 0, match.start(group)) + 1
+        if comment:
+            pass
+        elif number is not None:
+            tokens.append(Token(TokenKind.NUMBER, int(number, 0),
+                                token_line))
+        elif char is not None:
+            if char.startswith("\\"):
+                value = _CHAR_ESCAPES.get(char[1], ord(char[1]))
+            else:
+                value = ord(char)
+            tokens.append(Token(TokenKind.NUMBER, value, token_line))
+        elif ident is not None:
+            kind = TokenKind.KEYWORD if ident in KEYWORDS \
+                else TokenKind.IDENT
+            tokens.append(Token(kind, ident, token_line))
+        else:
+            if operator in ("/", "%"):
+                raise CompileError(
+                    f"operator {operator!r} unsupported: TamaRISC has no "
+                    "divider (use shifts)", token_line)
+            tokens.append(Token(TokenKind.OP, operator, token_line))
+        index = match.end()
+    tokens.append(Token(TokenKind.END, None,
+                        source.count("\n") + 1))
+    return tokens

@@ -1,0 +1,340 @@
+"""TamaC parser: recursive descent to a small AST."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.tamarisc.tamac.lexer import CompileError, Token, TokenKind, \
+    tokenize
+
+
+# ---------------------------------------------------------------------------
+# AST
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Num:
+    value: int
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Var:
+    name: str
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Index:
+    name: str
+    index: object
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Unary:
+    op: str
+    operand: object
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Binary:
+    op: str
+    lhs: object
+    rhs: object
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Call:
+    name: str
+    args: tuple
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Assign:
+    target: object  # Var or Index
+    expr: object
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class If:
+    cond: object
+    then: tuple
+    orelse: tuple
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class While:
+    cond: object
+    body: tuple
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Return:
+    expr: object  # or None
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class ExprStmt:
+    expr: object
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class VarDecl:
+    name: str
+    size: int | None  # None = scalar; int = array length
+    init: object      # expression or None (globals: Num or None)
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Function:
+    name: str
+    params: tuple
+    body: tuple
+    line: int = 0
+
+
+@dataclass
+class Module:
+    globals: list[VarDecl] = field(default_factory=list)
+    functions: dict[str, Function] = field(default_factory=dict)
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+#: Binary operators by precedence level, loosest first.
+_PRECEDENCE = (
+    ("||",),
+    ("&&",),
+    ("|",),
+    ("^",),
+    ("&",),
+    ("==", "!="),
+    ("<", "<=", ">", ">="),
+    ("<<", ">>"),
+    ("+", "-"),
+    ("*",),
+)
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token helpers -------------------------------------------------------
+
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def next(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind != TokenKind.END:
+            self.pos += 1
+        return token
+
+    def accept_op(self, op: str) -> bool:
+        token = self.peek()
+        if token.kind == TokenKind.OP and token.value == op:
+            self.next()
+            return True
+        return False
+
+    def expect_op(self, op: str) -> None:
+        token = self.next()
+        if token.kind != TokenKind.OP or token.value != op:
+            raise CompileError(f"expected {op!r}, found {token.value!r}",
+                               token.line)
+
+    def expect_ident(self) -> Token:
+        token = self.next()
+        if token.kind != TokenKind.IDENT:
+            raise CompileError(f"expected identifier, found "
+                               f"{token.value!r}", token.line)
+        return token
+
+    def at_keyword(self, word: str) -> bool:
+        token = self.peek()
+        return token.kind == TokenKind.KEYWORD and token.value == word
+
+    # -- grammar -------------------------------------------------------------
+
+    def module(self) -> Module:
+        module = Module()
+        while self.peek().kind != TokenKind.END:
+            if self.at_keyword("var"):
+                module.globals.append(self.var_decl(top_level=True))
+            elif self.at_keyword("func"):
+                function = self.function()
+                if function.name in module.functions:
+                    raise CompileError(
+                        f"duplicate function {function.name!r}",
+                        function.line)
+                module.functions[function.name] = function
+            else:
+                token = self.peek()
+                raise CompileError(
+                    f"expected 'var' or 'func', found {token.value!r}",
+                    token.line)
+        return module
+
+    def var_decl(self, top_level: bool) -> VarDecl:
+        line = self.next().line  # 'var'
+        name = self.expect_ident().value
+        size = None
+        init = None
+        if self.accept_op("["):
+            size_token = self.next()
+            if size_token.kind != TokenKind.NUMBER or size_token.value <= 0:
+                raise CompileError("array size must be a positive literal",
+                                   size_token.line)
+            size = size_token.value
+            self.expect_op("]")
+        if self.accept_op("="):
+            if size is not None:
+                raise CompileError("array initialisers are not supported",
+                                   line)
+            init = self.expression()
+            if top_level and not isinstance(init, Num):
+                raise CompileError(
+                    "global initialisers must be constants", line)
+        self.expect_op(";")
+        return VarDecl(name=name, size=size, init=init, line=line)
+
+    def function(self) -> Function:
+        line = self.next().line  # 'func'
+        name = self.expect_ident().value
+        self.expect_op("(")
+        params = []
+        if not self.accept_op(")"):
+            while True:
+                params.append(self.expect_ident().value)
+                if self.accept_op(")"):
+                    break
+                self.expect_op(",")
+        if len(set(params)) != len(params):
+            raise CompileError(f"duplicate parameter in {name!r}", line)
+        body = self.block()
+        return Function(name=name, params=tuple(params), body=body,
+                        line=line)
+
+    def block(self) -> tuple:
+        self.expect_op("{")
+        statements = []
+        while not self.accept_op("}"):
+            if self.peek().kind == TokenKind.END:
+                raise CompileError("unterminated block", self.peek().line)
+            statements.append(self.statement())
+        return tuple(statements)
+
+    def statement(self):
+        token = self.peek()
+        if self.at_keyword("var"):
+            return self.var_decl(top_level=False)
+        if self.at_keyword("if"):
+            self.next()
+            self.expect_op("(")
+            cond = self.expression()
+            self.expect_op(")")
+            then = self.block()
+            orelse = ()
+            if self.at_keyword("else"):
+                self.next()
+                orelse = self.block()
+            return If(cond=cond, then=then, orelse=orelse, line=token.line)
+        if self.at_keyword("while"):
+            self.next()
+            self.expect_op("(")
+            cond = self.expression()
+            self.expect_op(")")
+            return While(cond=cond, body=self.block(), line=token.line)
+        if self.at_keyword("return"):
+            self.next()
+            expr = None
+            if not (self.peek().kind == TokenKind.OP
+                    and self.peek().value == ";"):
+                expr = self.expression()
+            self.expect_op(";")
+            return Return(expr=expr, line=token.line)
+        # assignment or expression statement
+        expr = self.expression()
+        if self.accept_op("="):
+            if not isinstance(expr, (Var, Index)):
+                raise CompileError("assignment target must be a variable "
+                                   "or array element", token.line)
+            value = self.expression()
+            self.expect_op(";")
+            return Assign(target=expr, expr=value, line=token.line)
+        self.expect_op(";")
+        if not isinstance(expr, Call):
+            raise CompileError(
+                "expression statement must be a function call", token.line)
+        return ExprStmt(expr=expr, line=token.line)
+
+    # -- expressions ---------------------------------------------------------
+
+    def expression(self, level: int = 0):
+        if level >= len(_PRECEDENCE):
+            return self.unary()
+        expr = self.expression(level + 1)
+        while True:
+            token = self.peek()
+            if token.kind == TokenKind.OP \
+                    and token.value in _PRECEDENCE[level]:
+                self.next()
+                rhs = self.expression(level + 1)
+                expr = Binary(op=token.value, lhs=expr, rhs=rhs,
+                              line=token.line)
+            else:
+                return expr
+
+    def unary(self):
+        token = self.peek()
+        if token.kind == TokenKind.OP and token.value in ("-", "~", "!"):
+            self.next()
+            return Unary(op=token.value, operand=self.unary(),
+                         line=token.line)
+        return self.primary()
+
+    def primary(self):
+        token = self.next()
+        if token.kind == TokenKind.NUMBER:
+            return Num(value=token.value, line=token.line)
+        if token.kind == TokenKind.OP and token.value == "(":
+            expr = self.expression()
+            self.expect_op(")")
+            return expr
+        if token.kind == TokenKind.IDENT:
+            if self.accept_op("("):
+                args = []
+                if not self.accept_op(")"):
+                    while True:
+                        args.append(self.expression())
+                        if self.accept_op(")"):
+                            break
+                        self.expect_op(",")
+                return Call(name=token.value, args=tuple(args),
+                            line=token.line)
+            if self.accept_op("["):
+                index = self.expression()
+                self.expect_op("]")
+                return Index(name=token.value, index=index,
+                             line=token.line)
+            return Var(name=token.value, line=token.line)
+        raise CompileError(f"unexpected token {token.value!r}", token.line)
+
+
+def parse(source: str) -> Module:
+    """Parse TamaC source into a :class:`Module`."""
+    return _Parser(tokenize(source)).module()

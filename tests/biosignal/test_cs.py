@@ -1,0 +1,106 @@
+"""Compressed sensing: packed matrix, golden compression, reconstruction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.biosignal.compressed_sensing import (
+    SensingMatrix,
+    cs_compress,
+    measurements_to_signed,
+    omp_reconstruct,
+    percent_rms_difference,
+)
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return SensingMatrix.generate(seed=11)
+
+
+class TestMatrix:
+    def test_paper_footprint(self, matrix):
+        """The packed LUT is exactly the paper's 12288-byte CS vector."""
+        assert matrix.lut_words == 6144
+        assert matrix.lut_bytes == 12288
+
+    def test_entries_per_column_distinct_rows(self, matrix):
+        for column in range(matrix.n_input):
+            entries = matrix.lut[column * 12:(column + 1) * 12]
+            rows = [entry >> 1 for entry in entries]
+            assert len(set(rows)) == 12
+            assert all(0 <= row < 256 for row in rows)
+
+    def test_dense_equivalent(self, matrix):
+        dense = matrix.to_dense()
+        assert dense.shape == (256, 512)
+        assert np.all(np.sum(dense != 0, axis=0) == 12)
+        assert set(np.unique(dense)) <= {-1.0, 0.0, 1.0}
+
+    def test_deterministic(self):
+        a = SensingMatrix.generate(seed=3)
+        b = SensingMatrix.generate(seed=3)
+        assert a.lut == b.lut
+
+    def test_too_many_entries_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SensingMatrix.generate(n_output=8, entries_per_column=9)
+
+
+class TestGoldenCompression:
+    def test_matches_dense_matrix_mod_2_16(self, matrix):
+        rng = np.random.default_rng(0)
+        x = rng.integers(-2048, 2048, size=512)
+        y = cs_compress(matrix, x)
+        expected = (matrix.to_dense().astype(np.int64) @ x) % (1 << 16)
+        assert y == [int(v) for v in expected]
+
+    @given(st.lists(st.integers(min_value=-2048, max_value=2047),
+                    min_size=16, max_size=16))
+    @settings(max_examples=25, deadline=None)
+    def test_linearity_small(self, x):
+        small = SensingMatrix.generate(n_input=16, n_output=8,
+                                       entries_per_column=3, seed=1)
+        y1 = cs_compress(small, x)
+        y2 = cs_compress(small, [2 * v for v in x])
+        expected = [(2 * v) & 0xFFFF for v in y1]
+        assert y2 == expected
+
+    def test_wrong_length_rejected(self, matrix):
+        with pytest.raises(ValueError):
+            cs_compress(matrix, [0] * 100)
+
+    def test_measurements_to_signed(self):
+        assert list(measurements_to_signed([0, 1, 0x8000, 0xFFFF])) \
+            == [0, 1, -32768, -1]
+
+
+class TestReconstruction:
+    def test_omp_recovers_dct_sparse_signal(self, matrix):
+        """A signal that is truly sparse in DCT must reconstruct almost
+        exactly from 50% measurements."""
+        from scipy.fft import idct
+        coefficients = np.zeros(512)
+        coefficients[[3, 17, 40]] = [900.0, -500.0, 250.0]
+        x = idct(coefficients, norm="ortho")
+        y = matrix.to_dense() @ x
+        x_hat = omp_reconstruct(y, matrix, sparsity=10)
+        assert percent_rms_difference(x, x_hat) < 1.0
+
+    def test_end_to_end_prd_on_ecg(self, matrix):
+        from repro.biosignal.ecg import generate_leads
+        x = generate_leads(n_leads=1, n_samples=512, seed=9)[0]
+        y = measurements_to_signed(cs_compress(matrix, [int(v) for v in x]))
+        x_hat = omp_reconstruct(y.astype(float), matrix, sparsity=64)
+        prd = percent_rms_difference(x, x_hat)
+        assert prd < 40.0, f"PRD {prd:.1f}% is implausibly bad"
+
+    def test_prd_zero_for_identical(self):
+        x = np.arange(1.0, 10.0)
+        assert percent_rms_difference(x, x) == 0.0
+
+    def test_prd_rejects_zero_signal(self):
+        with pytest.raises(ValueError):
+            percent_rms_difference(np.zeros(4), np.ones(4))

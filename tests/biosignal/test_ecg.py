@@ -1,0 +1,63 @@
+"""Synthetic ECG generator."""
+
+import numpy as np
+import pytest
+
+from repro.biosignal.ecg import ADC_FULL_SCALE, ECGGenerator, generate_leads
+
+
+class TestShapeAndRange:
+    def test_shape(self):
+        leads = generate_leads(n_leads=8, n_samples=512)
+        assert leads.shape == (8, 512)
+        assert leads.dtype == np.int16
+
+    def test_adc_range(self):
+        leads = generate_leads(n_samples=2048, seed=5)
+        assert leads.min() >= -ADC_FULL_SCALE - 1
+        assert leads.max() <= ADC_FULL_SCALE
+
+    def test_contains_visible_beats(self):
+        """R peaks should dominate: peak amplitude well above the noise."""
+        leads = ECGGenerator(seed=1, noise_counts=5.0).generate(1024)
+        for lead in leads:
+            assert np.abs(lead.astype(int)).max() > 150
+
+    def test_beat_rate_plausible(self):
+        """~72 bpm at 250 Hz over 8 s -> roughly 7-12 prominent peaks."""
+        lead = ECGGenerator(n_leads=1, seed=3,
+                            noise_counts=2.0).generate(2000)[0].astype(int)
+        threshold = 0.6 * np.abs(lead).max()
+        above = np.abs(lead) > threshold
+        peaks = np.sum(np.diff(above.astype(int)) == 1)
+        assert 5 <= peaks <= 16
+
+
+class TestDeterminism:
+    def test_same_seed_same_signal(self):
+        a = generate_leads(seed=42)
+        b = generate_leads(seed=42)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(generate_leads(seed=1),
+                                  generate_leads(seed=2))
+
+    def test_leads_differ_from_each_other(self):
+        leads = generate_leads(n_leads=8, seed=7)
+        for i in range(7):
+            assert not np.array_equal(leads[i], leads[i + 1])
+
+
+class TestValidation:
+    def test_zero_leads_rejected(self):
+        with pytest.raises(ValueError):
+            ECGGenerator(n_leads=0)
+
+    def test_implausible_heart_rate_rejected(self):
+        with pytest.raises(ValueError):
+            ECGGenerator(heart_rate_bpm=400)
+
+    def test_zero_samples_rejected(self):
+        with pytest.raises(ValueError):
+            ECGGenerator().generate(0)

@@ -1,0 +1,60 @@
+"""Measurement quantiser: the bit-exact kernel mirror."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.biosignal.quantize import (
+    NUM_SYMBOLS,
+    STEP,
+    dequantize_symbol,
+    quantize_measurement,
+)
+
+words = st.integers(min_value=0, max_value=0xFFFF)
+signed = st.integers(min_value=-0x8000, max_value=0x7FFF)
+
+
+class TestQuantise:
+    def test_zero_maps_to_centre_symbol(self):
+        assert quantize_measurement(0) == NUM_SYMBOLS // 2
+
+    @given(words)
+    def test_symbol_range(self, y):
+        assert 0 <= quantize_measurement(y) < NUM_SYMBOLS
+
+    @given(signed)
+    def test_monotone_in_signed_value(self, y):
+        if y < 0x7FFF - STEP:
+            assert quantize_measurement(y) \
+                <= quantize_measurement(y + STEP)
+
+    @given(st.integers(min_value=-4096, max_value=4095))
+    def test_in_range_values_match_arithmetic_shift(self, y):
+        """Inside ±4096 the XOR-rebias trick equals floor division."""
+        assert quantize_measurement(y) == (y >> 4) + 256
+
+    def test_saturation(self):
+        assert quantize_measurement(-0x8000) == 0
+        assert quantize_measurement(0x7FFF) == NUM_SYMBOLS - 1
+        assert quantize_measurement(-5000) == 0
+        assert quantize_measurement(5000) == NUM_SYMBOLS - 1
+
+
+class TestDequantise:
+    @given(st.integers(min_value=0, max_value=NUM_SYMBOLS - 1))
+    def test_round_trip_error_bounded(self, symbol):
+        reconstructed = dequantize_symbol(symbol)
+        assert quantize_measurement(reconstructed & 0xFFFF) == symbol
+
+    @given(st.integers(min_value=-4096 + STEP, max_value=4095 - STEP))
+    def test_quantisation_error_at_most_half_step(self, y):
+        reconstructed = dequantize_symbol(quantize_measurement(y))
+        assert abs(reconstructed - y) <= STEP // 2
+
+    def test_out_of_range_symbol_rejected(self):
+        with pytest.raises(ValueError):
+            dequantize_symbol(NUM_SYMBOLS)
+        with pytest.raises(ValueError):
+            dequantize_symbol(-1)

@@ -1,0 +1,128 @@
+"""Every experiment runs and lands close to the paper.
+
+Per-experiment tolerances reflect the calibration structure: anchored
+quantities must be tight; emergent quantities (simulated activity flowing
+through the calibrated models) may drift a few percent; cycle-count
+ratios of the re-implemented kernel get the loosest bound.
+"""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS
+
+#: experiment id -> maximum relative error allowed over its *anchored*
+#: comparisons (checked metric by metric below with named exceptions).
+TOLERANCES = {
+    # Fig 3 is an integer-rounded pie chart (and the paper's Table II
+    # components sum to 0.66 mW against its 0.64 mW total row).
+    "fig3": 0.10,
+    "fig5": 0.02,
+    "fig6": 0.02,
+    "table1": 0.10,
+    "table2": 0.35,
+    "fig7": 0.10,
+    "fig8": 0.06,
+    "core": 0.01,
+    "cycles": 0.15,
+    "ablations": 0.05,
+    "scaling": 0.05,
+    "lifetime": 0.10,
+}
+
+#: metrics excluded from the blanket tolerance, with their own bound:
+#: quantities the paper itself reports loosely, or narrative/ablation
+#: checks whose magnitude is kernel-specific (shape still asserted).
+EXCEPTIONS = {
+    ("fig7", "ulpmc-int saving at 5 kOps/s (falters: no gating)"): None,
+    ("cycles", "IM access reduction with I-Xbar broadcast only"): None,
+    ("table2", "ulpmc-int dxbar power"): 0.5,
+    ("table2", "ulpmc-int dm power"): 0.25,
+    ("table2", "ulpmc-bank dm power"): 0.25,
+    # Extension studies: directional claims, checked in NarrativeShapes.
+    ("scaling", "8-core vs 1-core dynamic power, burst scenario"): None,
+    ("scaling",
+     "8-core vs 1-core dynamic power, continuous scenario"): None,
+}
+
+
+@pytest.fixture(scope="module", params=sorted(EXPERIMENTS))
+def experiment(request):
+    return request.param, EXPERIMENTS[request.param].run()
+
+
+class TestExperiments:
+    def test_produces_rows(self, experiment):
+        __, result = experiment
+        assert result.rows
+        assert all(len(row) == len(result.headers)
+                   for row in result.rows)
+
+    def test_comparisons_within_tolerance(self, experiment):
+        exp_id, result = experiment
+        tolerance = TOLERANCES[exp_id]
+        failures = []
+        for comparison in result.comparisons:
+            bound = EXCEPTIONS.get((exp_id, comparison.metric), tolerance)
+            if bound is None:
+                continue
+            if comparison.relative_error > bound:
+                failures.append(comparison.render())
+        assert not failures, "\n".join(failures)
+
+    def test_text_rendering(self, experiment):
+        exp_id, result = experiment
+        text = result.to_text()
+        assert exp_id in text
+        assert "paper" in text
+
+    def test_csv_rendering(self, experiment):
+        __, result = experiment
+        csv = result.to_csv()
+        assert csv.count("\n") == len(result.rows)
+
+
+class TestNarrativeShapes:
+    """Direction-of-effect checks for the loosely-bounded metrics."""
+
+    def test_broadcast_only_ablation_direction(self):
+        result = EXPERIMENTS["cycles"].run()
+        values = {c.metric: c.measured for c in result.comparisons}
+        full = values["IM access reduction with DM organisation + "
+                      "broadcasts"]
+        partial = values["IM access reduction with I-Xbar broadcast only"]
+        assert partial < full, \
+            "losing the DM organisation must hurt instruction broadcast"
+
+    def test_fig7_int_falters_at_low_workload(self):
+        result = EXPERIMENTS["fig7"].run()
+        values = {c.metric: c.measured for c in result.comparisons}
+        low = values["ulpmc-int saving at 5 kOps/s (falters: no gating)"]
+        high = values["ulpmc-int saving at the highest common workload"]
+        assert low < 5.0 < high
+
+    def test_scaling_burst_favours_parallelism(self):
+        """PATMOS'11 premise: 8 near-threshold cores beat 1 near-nominal
+        core by a wide margin in the compute-bound scenario."""
+        result = EXPERIMENTS["scaling"].run()
+        values = {c.metric: c.measured for c in result.comparisons}
+        burst = values["8-core vs 1-core dynamic power, burst scenario"]
+        continuous = values[
+            "8-core vs 1-core dynamic power, continuous scenario"]
+        assert burst < 0.35
+        assert burst < continuous < 1.0
+
+    def test_ablations_monotone(self):
+        """Each removed mechanism costs cycles: full <= shared-LUT <=
+        no-data-broadcast <= no-instruction-broadcast."""
+        result = EXPERIMENTS["ablations"].run()
+        cycles = [row[1] for row in result.rows]
+        assert cycles == sorted(cycles)
+
+    def test_lifetime_ordering(self):
+        result = EXPERIMENTS["lifetime"].run()
+        by_mission = {}
+        for mission, arch, power, *__ in result.rows:
+            by_mission.setdefault(mission, {})[arch] = power
+        for powers in by_mission.values():
+            assert powers["ulpmc-bank"] < powers["ulpmc-int"] \
+                <= powers["mc-ref"] * 1.001

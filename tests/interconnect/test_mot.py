@@ -1,0 +1,45 @@
+"""Mesh-of-Trees structural model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.interconnect.mot import MeshOfTrees
+
+
+@pytest.mark.parametrize("masters,banks", [(8, 16), (8, 8), (4, 4), (2, 8),
+                                           (1, 1)])
+def test_node_counts_match_closed_form(masters, banks):
+    mot = MeshOfTrees(masters, banks)
+    mot.validate_structure()
+    assert mot.routing_nodes == masters * (banks - 1)
+    assert mot.arbitration_nodes == banks * (masters - 1)
+
+
+def test_paper_crossbar_geometries():
+    dxbar = MeshOfTrees(8, 16)
+    ixbar = MeshOfTrees(8, 8)
+    assert dxbar.total_nodes == 8 * 15 + 16 * 7   # 232
+    assert ixbar.total_nodes == 8 * 7 + 8 * 7     # 112
+    # The deeper D-Xbar explains part of the critical path discussion.
+    assert dxbar.depth == 7 and ixbar.depth == 6
+
+
+def test_every_master_reaches_every_bank():
+    import networkx as nx
+    mot = MeshOfTrees(4, 8)
+    for master in range(4):
+        for bank in range(8):
+            assert nx.has_path(mot.graph, ("master", master),
+                               ("bank", bank))
+
+
+def test_non_power_of_two_rejected():
+    with pytest.raises(ConfigurationError):
+        MeshOfTrees(6, 16)
+    with pytest.raises(ConfigurationError):
+        MeshOfTrees(8, 12)
+
+
+def test_zero_rejected():
+    with pytest.raises(ConfigurationError):
+        MeshOfTrees(0, 4)

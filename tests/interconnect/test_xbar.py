@@ -1,0 +1,139 @@
+"""Crossbar: broadcast merging, conflicts, stalls, transitions."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.interconnect.xbar import Crossbar, Request
+
+
+def reads(*specs):
+    return [Request(master, bank, offset) for master, bank, offset in specs]
+
+
+class TestBroadcast:
+    def test_same_address_reads_merge_into_one_access(self):
+        xbar = Crossbar(8, 8, broadcast=True)
+        granted = xbar.arbitrate(reads(*[(m, 2, 5) for m in range(8)]))
+        assert granted == {(m, False) for m in range(8)}
+        assert xbar.stats.bank_accesses == 1
+        assert xbar.stats.broadcast_savings == 7
+        assert xbar.stats.broadcasts == 1
+        assert xbar.stats.stalls == 0
+
+    def test_broadcast_disabled_serialises(self):
+        xbar = Crossbar(8, 8, broadcast=False)
+        granted = xbar.arbitrate(reads(*[(m, 2, 5) for m in range(8)]))
+        assert len(granted) == 1
+        assert xbar.stats.stalls == 7
+
+    def test_different_offsets_same_bank_conflict(self):
+        xbar = Crossbar(8, 8, broadcast=True)
+        granted = xbar.arbitrate(reads((0, 1, 10), (1, 1, 11)))
+        assert len(granted) == 1
+        assert xbar.stats.conflict_events == 1
+
+    def test_writes_never_merge(self):
+        xbar = Crossbar(8, 8, broadcast=True)
+        granted = xbar.arbitrate([Request(0, 3, 7, write=True),
+                                  Request(1, 3, 7, write=True)])
+        assert len(granted) == 1
+
+    def test_partial_broadcast_group_wins_together(self):
+        xbar = Crossbar(8, 8, broadcast=True)
+        granted = xbar.arbitrate(reads((0, 1, 5), (1, 1, 5), (2, 1, 9)))
+        # Round-robin points at master 0; its whole same-address group
+        # (masters 0 and 1) is served in the single access.
+        assert granted == {(0, False), (1, False)}
+        assert xbar.stats.bank_accesses == 1
+        assert xbar.stats.stalls == 1
+
+
+class TestPorts:
+    def test_read_and_write_from_same_master_different_banks(self):
+        xbar = Crossbar(8, 16, broadcast=True)
+        granted = xbar.arbitrate([Request(0, 1, 5),
+                                  Request(0, 2, 6, write=True)])
+        assert granted == {(0, False), (0, True)}
+        assert xbar.stats.bank_accesses == 2
+
+    def test_read_and_write_same_bank_serialise(self):
+        """A single-ported bank cannot serve a core's read and write in
+        one cycle."""
+        xbar = Crossbar(8, 16, broadcast=True)
+        granted = xbar.arbitrate([Request(0, 1, 5),
+                                  Request(0, 1, 6, write=True)])
+        assert granted == {(0, False)}  # read served first
+        granted = xbar.arbitrate([Request(0, 1, 6, write=True)])
+        assert granted == {(0, True)}
+
+    def test_duplicate_port_request_rejected(self):
+        xbar = Crossbar(8, 8)
+        with pytest.raises(ValueError):
+            xbar.arbitrate(reads((0, 1, 5), (0, 2, 6)))
+
+
+class TestFairness:
+    def test_round_robin_across_cycles(self):
+        xbar = Crossbar(4, 4, broadcast=True)
+        winners = []
+        for __ in range(4):
+            granted = xbar.arbitrate(reads((0, 0, 1), (1, 0, 2),
+                                           (2, 0, 3), (3, 0, 4)))
+            winners.append(next(iter(granted))[0])
+        assert sorted(winners) == [0, 1, 2, 3]
+
+
+class TestTransitions:
+    def test_bank_transitions_counted_per_master(self):
+        xbar = Crossbar(2, 4, broadcast=True)
+        xbar.arbitrate(reads((0, 0, 0)))
+        xbar.arbitrate(reads((0, 1, 0)))   # transition
+        xbar.arbitrate(reads((0, 1, 1)))   # same bank: no transition
+        xbar.arbitrate(reads((0, 2, 0)))   # transition
+        assert xbar.stats.bank_transitions == {0: 2}
+        assert xbar.stats.total_bank_transitions == 2
+
+    def test_first_access_is_not_a_transition(self):
+        xbar = Crossbar(2, 4)
+        xbar.arbitrate(reads((0, 3, 0)))
+        assert xbar.stats.total_bank_transitions == 0
+
+
+class TestInvariants:
+    banks = st.integers(min_value=0, max_value=3)
+    offsets = st.integers(min_value=0, max_value=7)
+
+    @given(st.lists(st.tuples(st.integers(min_value=0, max_value=7),
+                              banks, offsets, st.booleans()),
+                    min_size=1, max_size=16))
+    def test_conservation(self, raw):
+        """deliveries == granted requests; accesses <= deliveries;
+        stalls == requests - deliveries; at most one access per bank."""
+        seen = set()
+        requests = []
+        for master, bank, offset, write in raw:
+            if (master, write) in seen:
+                continue
+            seen.add((master, write))
+            requests.append(Request(master, bank, offset, write=write))
+        xbar = Crossbar(8, 4, broadcast=True)
+        granted = xbar.arbitrate(requests)
+        stats = xbar.stats
+        assert stats.deliveries == len(granted)
+        assert stats.bank_accesses <= stats.deliveries
+        assert stats.stalls == len(requests) - stats.deliveries
+        touched_banks = {request.bank for request in requests}
+        assert stats.bank_accesses == len(touched_banks)
+
+    def test_reset(self):
+        xbar = Crossbar(4, 4)
+        xbar.arbitrate(reads((0, 0, 0)))
+        xbar.reset()
+        assert xbar.stats.bank_accesses == 0
+        assert xbar._last_bank == [None] * 4
+
+
+class TestEmpty:
+    def test_no_requests(self):
+        assert Crossbar(4, 4).arbitrate([]) == set()

@@ -1,0 +1,66 @@
+"""Benchmark memory map: the paper's data footprints."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.kernels.memmap import BenchmarkMemoryMap
+from repro.memory.layout import DataMemoryLayout
+
+
+class TestPaperFootprints:
+    memmap = BenchmarkMemoryMap()
+
+    def test_read_only_data_is_14336_bytes(self):
+        """Paper Section II: 14336 B read-only (12288 B CS vector + two
+        1024 B Huffman LUTs)."""
+        assert self.memmap.read_only_bytes == 14336
+        assert 2 * self.memmap.cs_lut_words == 12288
+
+    def test_shared_section_layout_is_contiguous(self):
+        assert self.memmap.cs_lut == 0
+        assert self.memmap.code_lut_shared == 6144
+        assert self.memmap.len_lut_shared == 6656
+        assert self.memmap.shared_words_used == 7168
+
+    def test_private_window_layout(self):
+        assert self.memmap.y_base == self.memmap.x_base + 512
+        assert self.memmap.out_base == self.memmap.y_base + 256
+        assert self.memmap.working_bytes == 2 * (512 + 256 + 257)
+
+    def test_fits_default_platform_layout(self):
+        self.memmap.validate(DataMemoryLayout())
+
+
+class TestPrivateLutVariant:
+    memmap = BenchmarkMemoryMap(huffman_private=True)
+
+    def test_kernel_uses_private_luts(self):
+        assert self.memmap.code_lut == self.memmap.code_lut_private
+        assert self.memmap.len_lut == self.memmap.len_lut_private
+        assert self.memmap.code_lut_private >= self.memmap.x_base
+
+    def test_working_set_grows_by_two_kilobytes(self):
+        shared_variant = BenchmarkMemoryMap()
+        assert self.memmap.working_bytes \
+            == shared_variant.working_bytes + 2048
+
+    def test_still_fits(self):
+        self.memmap.validate(DataMemoryLayout())
+
+
+class TestValidation:
+    def test_oversized_shared_rejected(self):
+        memmap = BenchmarkMemoryMap(n_samples=2048, entries_per_column=12)
+        with pytest.raises(ConfigurationError, match="shared"):
+            memmap.validate(DataMemoryLayout())
+
+    def test_oversized_private_rejected(self):
+        memmap = BenchmarkMemoryMap(n_samples=4096, n_measurements=256,
+                                    entries_per_column=1)
+        with pytest.raises(ConfigurationError, match="private"):
+            memmap.validate(DataMemoryLayout())
+
+    def test_reduced_geometry_scales(self):
+        memmap = BenchmarkMemoryMap(n_samples=64, n_measurements=32)
+        assert memmap.cs_lut_words == 64 * 12
+        memmap.validate(DataMemoryLayout())

@@ -1,0 +1,82 @@
+"""Memory bank: bounds, counters, power gating."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.memory.bank import MemoryBank
+
+
+class TestAccess:
+    def test_read_write(self):
+        bank = MemoryBank(16)
+        bank.write(3, 0x1234)
+        assert bank.read(3) == 0x1234
+
+    def test_values_masked_to_word(self):
+        bank = MemoryBank(4)
+        bank.write(0, 0x12345)
+        assert bank.read(0) == 0x2345
+
+    def test_instruction_width_mask(self):
+        bank = MemoryBank(4, word_mask=0xFFFFFF)
+        bank.write(0, 0xA1B2C3)
+        assert bank.read(0) == 0xA1B2C3
+
+    @pytest.mark.parametrize("offset", [-1, 16, 1000])
+    def test_out_of_bounds(self, offset):
+        bank = MemoryBank(16)
+        with pytest.raises(SimulationError):
+            bank.read(offset)
+        with pytest.raises(SimulationError):
+            bank.write(offset, 0)
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryBank(0)
+
+
+class TestCounters:
+    def test_reads_and_writes_counted(self):
+        bank = MemoryBank(8)
+        bank.write(0, 1)
+        bank.read(0)
+        bank.read(0)
+        assert bank.writes == 1 and bank.reads == 2
+        assert bank.accesses == 3
+
+    def test_load_does_not_count(self):
+        bank = MemoryBank(8)
+        bank.load(0, [1, 2, 3])
+        assert bank.accesses == 0
+        assert bank.read(1) == 2
+
+    def test_reset_counters(self):
+        bank = MemoryBank(8)
+        bank.write(0, 1)
+        bank.reset_counters()
+        assert bank.accesses == 0
+        assert bank.read(0) == 1  # contents preserved
+
+
+class TestPowerGating:
+    def test_gated_bank_rejects_access(self):
+        bank = MemoryBank(8)
+        bank.gate()
+        with pytest.raises(SimulationError, match="power-gated"):
+            bank.read(0)
+        with pytest.raises(SimulationError, match="power-gated"):
+            bank.write(0, 1)
+        with pytest.raises(SimulationError, match="power-gated"):
+            bank.load(0, [1])
+
+    def test_gating_loses_contents(self):
+        bank = MemoryBank(8)
+        bank.write(2, 99)
+        bank.gate()
+        bank.ungate()
+        assert bank.read(2) == 0
+
+    def test_load_beyond_bank_rejected(self):
+        bank = MemoryBank(4)
+        with pytest.raises(SimulationError, match="beyond"):
+            bank.load(2, [1, 2, 3])

@@ -1,0 +1,140 @@
+"""Address layouts: IM organisations and the shared/private DM map."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.memory.layout import (
+    DataMemoryLayout,
+    IMOrganization,
+    InstructionMemoryLayout,
+    PRIVATE_BASE,
+)
+
+cores = st.integers(min_value=0, max_value=7)
+pcs = st.integers(min_value=0, max_value=8 * 4096 - 1)
+
+
+class TestInstructionLayouts:
+    def test_private_uses_own_bank(self):
+        layout = InstructionMemoryLayout(IMOrganization.PRIVATE)
+        assert layout.locate(3, 100) == (3, 100)
+        assert layout.locate(0, 0) == (0, 0)
+
+    def test_private_rejects_overflow(self):
+        layout = InstructionMemoryLayout(IMOrganization.PRIVATE)
+        with pytest.raises(SimulationError):
+            layout.locate(0, 4096)
+
+    @given(pcs)
+    def test_interleaved_uses_low_bits(self, pc):
+        layout = InstructionMemoryLayout(IMOrganization.INTERLEAVED)
+        bank, offset = layout.locate(0, pc)
+        assert bank == pc % 8 and offset == pc // 8
+
+    @given(pcs)
+    def test_banked_uses_high_bits(self, pc):
+        layout = InstructionMemoryLayout(IMOrganization.BANKED)
+        bank, offset = layout.locate(0, pc)
+        assert bank == pc // 4096 and offset == pc % 4096
+
+    @given(st.sampled_from([IMOrganization.INTERLEAVED,
+                            IMOrganization.BANKED]),
+           st.sets(pcs, min_size=2, max_size=64))
+    def test_shared_mappings_are_injective(self, org, pc_set):
+        layout = InstructionMemoryLayout(org)
+        located = {layout.locate(0, pc) for pc in pc_set}
+        assert len(located) == len(pc_set)
+
+    def test_shared_organisations_ignore_core(self):
+        layout = InstructionMemoryLayout(IMOrganization.INTERLEAVED)
+        assert layout.locate(0, 77) == layout.locate(5, 77)
+
+    @pytest.mark.parametrize("org,program_words,expected", [
+        (IMOrganization.PRIVATE, 100, 8),       # every core's copy
+        (IMOrganization.INTERLEAVED, 100, 8),   # spread over all banks
+        (IMOrganization.INTERLEAVED, 3, 3),
+        (IMOrganization.BANKED, 100, 1),        # packed into one bank
+        (IMOrganization.BANKED, 4096, 1),
+        (IMOrganization.BANKED, 4097, 2),
+        (IMOrganization.BANKED, 0, 0),
+    ])
+    def test_banks_used(self, org, program_words, expected):
+        layout = InstructionMemoryLayout(org)
+        assert layout.banks_used(program_words, n_cores=8) == expected
+
+    def test_power_of_two_banks_required(self):
+        with pytest.raises(ConfigurationError):
+            InstructionMemoryLayout(IMOrganization.BANKED, banks=6)
+
+
+class TestDataLayout:
+    layout = DataMemoryLayout()
+
+    def test_geometry(self):
+        assert self.layout.total_words == 32768          # 64 kB
+        assert self.layout.banks_per_core == 2
+        assert self.layout.private_words_per_core == 2 * (2048 - 768)
+
+    @given(st.integers(min_value=0, max_value=16 * 768 - 1))
+    def test_shared_is_word_interleaved(self, addr):
+        bank, offset = self.layout.translate(0, addr)
+        assert bank == addr % 16
+        assert offset == addr // 16
+        assert offset < self.layout.shared_words_per_bank
+
+    @given(cores, st.integers(min_value=0, max_value=2 * 1280 - 1))
+    def test_private_lands_in_owned_banks(self, core, offset):
+        bank, intra = self.layout.translate(core, PRIVATE_BASE + offset)
+        assert bank in self.layout.core_banks(core)
+        assert intra >= self.layout.shared_words_per_bank
+
+    @given(cores, cores,
+           st.integers(min_value=0, max_value=2 * 1280 - 1),
+           st.integers(min_value=0, max_value=2 * 1280 - 1))
+    def test_private_sections_never_collide(self, core_a, core_b,
+                                            offset_a, offset_b):
+        """Distinct (core, private address) pairs map to distinct
+        physical locations — the paper's conflict-freedom guarantee."""
+        loc_a = self.layout.translate(core_a, PRIVATE_BASE + offset_a)
+        loc_b = self.layout.translate(core_b, PRIVATE_BASE + offset_b)
+        if (core_a, offset_a) != (core_b, offset_b):
+            assert loc_a != loc_b
+
+    @given(cores,
+           st.integers(min_value=0, max_value=16 * 768 - 1),
+           st.integers(min_value=0, max_value=2 * 1280 - 1))
+    def test_shared_and_private_never_collide(self, core, shared_addr,
+                                              private_offset):
+        shared_loc = self.layout.translate(core, shared_addr)
+        private_loc = self.layout.translate(
+            core, PRIVATE_BASE + private_offset)
+        assert shared_loc != private_loc
+
+    def test_shared_overflow_rejected(self):
+        with pytest.raises(SimulationError):
+            self.layout.translate(0, self.layout.shared_words)
+
+    def test_private_overflow_rejected(self):
+        with pytest.raises(SimulationError):
+            self.layout.translate(
+                0, PRIVATE_BASE + self.layout.private_words_per_core)
+
+    def test_negative_rejected(self):
+        with pytest.raises(SimulationError):
+            self.layout.translate(0, -1)
+
+    def test_configurable_split(self):
+        """Paper: section sizes are determined at compile time."""
+        wide = DataMemoryLayout(shared_words_per_bank=1024)
+        assert wide.shared_words == 16384
+        assert wide.private_words_per_core == 2048
+
+    def test_invalid_split_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DataMemoryLayout(shared_words_per_bank=2048)
+
+    def test_banks_must_divide_among_cores(self):
+        with pytest.raises(ConfigurationError):
+            DataMemoryLayout(banks=12, n_cores=8)

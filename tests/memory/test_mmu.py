@@ -1,0 +1,38 @@
+"""MMU: translation dispatch and access-mix accounting."""
+
+from repro.memory.layout import DataMemoryLayout, PRIVATE_BASE
+from repro.memory.mmu import MMU
+
+
+def test_translation_matches_layout():
+    layout = DataMemoryLayout()
+    mmu = MMU(pid=3, layout=layout)
+    assert mmu.translate(100) == layout.translate(3, 100)
+    assert mmu.translate(PRIVATE_BASE + 5) \
+        == layout.translate(3, PRIVATE_BASE + 5)
+
+
+def test_same_program_different_physical_placement():
+    """The MMU is what lets one program image serve all cores: the same
+    logical private address lands in different banks per PID."""
+    layout = DataMemoryLayout()
+    locations = {MMU(pid, layout).translate(PRIVATE_BASE + 7)
+                 for pid in range(8)}
+    assert len(locations) == 8
+
+
+def test_access_mix_counters():
+    mmu = MMU(pid=0, layout=DataMemoryLayout())
+    for __ in range(3):
+        mmu.translate(PRIVATE_BASE)
+    mmu.translate(0)
+    assert mmu.private_accesses == 3
+    assert mmu.shared_accesses == 1
+    assert abs(mmu.private_fraction - 0.75) < 1e-12
+
+
+def test_quiet_translation_does_not_count():
+    mmu = MMU(pid=0, layout=DataMemoryLayout())
+    mmu.translate_quiet(0)
+    assert mmu.translations == 0
+    assert mmu.private_fraction == 0.0

@@ -1,0 +1,74 @@
+"""Execution tracing: non-invasive observation of synchronisation."""
+
+import pytest
+
+from repro.kernels import BenchmarkSpec, build_benchmark, verify_result
+from repro.platform import build_platform
+from repro.platform.tracing import render_trace, sync_profile, trace_run
+
+
+@pytest.fixture(scope="module")
+def built():
+    return build_benchmark(BenchmarkSpec(n_samples=64, n_measurements=32,
+                                         huffman_private=True))
+
+
+class TestTraceRun:
+    def test_trace_is_non_invasive(self, built):
+        """A traced run retires the same cycles as an untraced one and
+        the results still verify bit-exactly."""
+        from repro.platform.multicore import SimulationResult
+
+        plain_cycles = build_platform("ulpmc-bank").run(
+            built.benchmark).stats.total_cycles
+
+        traced_system = build_platform("ulpmc-bank")
+        trace = trace_run(traced_system, built.benchmark, start=0,
+                          length=50)
+        assert len(trace) == 50
+        verify_result(built, SimulationResult(
+            benchmark=built.benchmark, stats=None, system=traced_system))
+        # Cycle-identical: re-running the traced machine untraced gives
+        # the same count as the never-traced machine.
+        assert traced_system.run(built.benchmark).stats.total_cycles \
+            == plain_cycles
+
+    def test_window_selection(self, built):
+        system = build_platform("mc-ref")
+        trace = trace_run(system, built.benchmark, start=100, length=10)
+        assert [record.cycle for record in trace.cycles] \
+            == list(range(100, 110))
+
+    def test_lockstep_visible_in_cs_phase(self, built):
+        """During CS the cores fetch the same PC (1 distinct group)."""
+        system = build_platform("ulpmc-bank")
+        trace = trace_run(system, built.benchmark, start=500, length=100)
+        profile = sync_profile(trace)
+        assert max(profile) == 1
+
+    def test_desync_visible_in_huffman_phase(self, built):
+        """Near the end of the run the data-dependent Huffman flow has
+        spread the PCs over several groups."""
+        system = build_platform("ulpmc-bank")
+        full = trace_run(system, built.benchmark, start=0, length=10**9)
+        profile = sync_profile(full)
+        assert max(profile[-2000:]) > 1
+
+    def test_stall_marks(self, built):
+        system = build_platform("ulpmc-bank")
+        full = trace_run(system, built.benchmark, start=0, length=10**9)
+        stalls = sum(1 for record in full.cycles
+                     for entry in record.cores
+                     if entry is not None and entry[1])
+        assert stalls > 0
+
+
+class TestRendering:
+    def test_render(self, built):
+        system = build_platform("ulpmc-int")
+        trace = trace_run(system, built.benchmark, start=0, length=5)
+        text = render_trace(trace)
+        lines = text.splitlines()
+        assert lines[0].startswith("cycle")
+        assert len(lines) == 6
+        assert "core7" in lines[0]

@@ -1,0 +1,55 @@
+"""Area model: Table I must come out exactly."""
+
+import pytest
+
+from repro.platform.config import build_config
+from repro.power.area import AreaModel, UM2_PER_GE, area_report
+
+
+class TestTableOne:
+    def test_mcref_row(self):
+        report = area_report(build_config("mc-ref"))
+        assert report["cores"] == pytest.approx(81.5, abs=0.05)
+        assert report["im"] == pytest.approx(429.4, abs=0.05)
+        assert report["dm"] == pytest.approx(576.7, abs=0.05)
+        assert report["dxbar"] == pytest.approx(20.5, abs=0.05)
+        assert report["ixbar"] == 0.0
+        assert report["total"] == pytest.approx(1108.1, abs=0.2)
+
+    @pytest.mark.parametrize("arch", ["ulpmc-int", "ulpmc-bank"])
+    def test_proposed_row(self, arch):
+        report = area_report(build_config(arch))
+        assert report["cores"] == pytest.approx(87.3, abs=0.05)
+        assert report["dxbar"] == pytest.approx(23.0, abs=0.05)
+        assert report["ixbar"] == pytest.approx(12.4, abs=0.05)
+        assert report["total"] == pytest.approx(1128.8, abs=0.2)
+
+    def test_memories_dominate(self):
+        report = area_report(build_config("mc-ref"))
+        assert (report["im"] + report["dm"]) / report["total"] > 0.88
+
+    def test_proposed_overhead_below_two_percent(self):
+        ref = area_report(build_config("mc-ref"))["total"]
+        proposed = area_report(build_config("ulpmc-int"))["total"]
+        assert 0 < proposed / ref - 1 < 0.02
+
+    def test_logic_area_increases_twenty_percent(self):
+        """Paper: 'the logic area in the proposed design increases almost
+        20% with respect to the mc-ref architecture'."""
+        ref = AreaModel(build_config("mc-ref")).logic_kge()
+        proposed = AreaModel(build_config("ulpmc-int")).logic_kge()
+        assert 0.15 < proposed / ref - 1 < 0.25
+
+
+class TestModelBehaviour:
+    def test_banking_costs_periphery(self):
+        """More banks of the same total capacity cost more area."""
+        model = AreaModel(build_config("mc-ref"))
+        few = 8 * model.memory_bank_kge(8192)
+        many = 16 * model.memory_bank_kge(4096)
+        assert many > few
+
+    def test_total_mm2_plausible(self):
+        area = AreaModel(build_config("ulpmc-int")).total_mm2()
+        assert 3.0 < area < 4.0  # ~1.13 MGE * 3.136 um2
+        assert UM2_PER_GE == 3.136

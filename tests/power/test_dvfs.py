@@ -1,0 +1,68 @@
+"""DVFS policy: the ~10 MOps/s knee behaviour."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.power.dvfs import DVFSPolicy, NOMINAL_PERIOD_NS
+from repro.power.technology import make_technology
+
+
+@pytest.fixture(scope="module")
+def policy():
+    return DVFSPolicy(make_technology())
+
+
+class TestOperatingPoints:
+    def test_nominal_frequency(self, policy):
+        assert policy.f_nominal_hz == pytest.approx(1e9 / 12.0)
+        assert NOMINAL_PERIOD_NS == 12.0
+
+    def test_peak_workload_is_paper_magnitude(self, policy):
+        peak = policy.max_workload_ops(ops_per_cycle=8.0)
+        assert peak == pytest.approx(666.7e6, rel=1e-3)
+
+    def test_voltage_and_frequency_scale_above_knee(self, policy):
+        point = policy.operating_point(300e6, ops_per_cycle=8.0)
+        assert point.voltage > policy.technology.v_min
+        assert point.frequency_hz == pytest.approx(300e6 / 8.0)
+
+    def test_frequency_only_below_knee(self, policy):
+        """Paper: below ~10 MOps/s only frequency scales; the supply
+        stays at the minimum level."""
+        knee = policy.f_min_voltage_hz * 8.0
+        assert knee == pytest.approx(10.03e6, rel=0.01)
+        for workload in (5e3, 50e3, 5e6):
+            point = policy.operating_point(workload, ops_per_cycle=8.0)
+            assert point.voltage == policy.technology.v_min
+
+    def test_voltage_monotone_in_workload(self, policy):
+        previous = 0.0
+        for workload in (1e4, 1e5, 1e6, 1e7, 5e7, 1e8, 3e8, 6e8):
+            point = policy.operating_point(workload, ops_per_cycle=8.0)
+            assert point.voltage >= previous
+            previous = point.voltage
+
+    def test_slower_architecture_needs_higher_frequency(self, policy):
+        """ulpmc-bank retires fewer ops/cycle, so the same workload costs
+        a higher clock."""
+        fast = policy.operating_point(1e6, ops_per_cycle=8.0)
+        slow = policy.operating_point(1e6, ops_per_cycle=7.5)
+        assert slow.frequency_hz > fast.frequency_hz
+
+
+class TestGuards:
+    def test_infeasible_workload_rejected(self, policy):
+        with pytest.raises(ConfigurationError, match="exceeds"):
+            policy.operating_point(700e6, ops_per_cycle=8.0)
+
+    def test_nonpositive_workload_rejected(self, policy):
+        with pytest.raises(ConfigurationError):
+            policy.operating_point(0, ops_per_cycle=8.0)
+
+    def test_bad_period_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DVFSPolicy(make_technology(), period_ns=0)
+
+    def test_period_property(self, policy):
+        point = policy.operating_point(666e6, ops_per_cycle=8.0)
+        assert point.period_ns == pytest.approx(1e9 / point.frequency_hz)

@@ -1,0 +1,61 @@
+"""Battery lifetime model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.power.lifetime import (
+    Battery,
+    CR2032,
+    CR2477,
+    lifetime_days,
+    lifetime_hours,
+)
+
+
+@pytest.fixture
+def cell():
+    return Battery.from_preset(CR2032)
+
+
+class TestBattery:
+    def test_energy(self, cell):
+        # 225 mAh * 3 V * 0.85 efficiency
+        assert cell.energy_joules == pytest.approx(
+            0.225 * 3600 * 3.0 * 0.85)
+
+    def test_presets(self):
+        big = Battery.from_preset(CR2477)
+        small = Battery.from_preset(CR2032)
+        assert big.energy_joules > small.energy_joules
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Battery("bad", -1, 3.0)
+        with pytest.raises(ConfigurationError):
+            Battery("bad", 100, 3.0, converter_efficiency=0.0)
+
+
+class TestLifetime:
+    def test_inverse_in_power(self, cell):
+        """Near-inverse in load; self-discharge bends it slightly below
+        the ideal 10x."""
+        ratio = lifetime_hours(10e-6, cell) / lifetime_hours(100e-6, cell)
+        assert 8.0 < ratio < 10.0
+
+    def test_days_conversion(self, cell):
+        assert lifetime_days(50e-6, cell) \
+            == pytest.approx(lifetime_hours(50e-6, cell) / 24)
+
+    def test_self_discharge_caps_lifetime(self, cell):
+        """At vanishing load, self-discharge bounds the lifetime to the
+        order of the discharge time constant (~50 years at 2 %/year)."""
+        days = lifetime_days(1e-12, cell)
+        assert days < 60 * 365
+
+    def test_magnitude_for_paper_operating_point(self, cell):
+        """A ~6 uW leakage-dominated node should live years on CR2032."""
+        assert 2 * 365 < lifetime_days(6e-6, cell) < 20 * 365
+
+    def test_zero_load_rejected(self, cell):
+        with pytest.raises(ConfigurationError):
+            lifetime_hours(0.0, cell)

@@ -1,0 +1,100 @@
+"""Power model on synthetic statistics: scaling laws and gating."""
+
+import pytest
+
+from repro.platform.config import build_config
+from repro.platform.stats import CoreStats, SimulationStats
+from repro.power.components import calibrate_energies, calibrate_leakage
+from repro.power.power_model import PowerModel
+from repro.power.technology import make_technology
+
+from tests.power.test_components import make_rates
+
+
+def synthetic_stats(arch, cycles=10_000, gated=0, transitions=0):
+    stats = SimulationStats(arch=arch, total_cycles=cycles)
+    stats.cores = [CoreStats(retired=cycles) for __ in range(8)]
+    stats.im_bank_accesses = cycles if arch != "mc-ref" else 8 * cycles
+    stats.im_fetches = 8 * cycles
+    stats.im_bank_transitions = transitions
+    stats.im_banks_gated = gated
+    stats.dm_bank_accesses = 2 * cycles
+    stats.dm_reads_delivered = 2 * cycles
+    return stats
+
+
+@pytest.fixture(scope="module")
+def parts():
+    energies = calibrate_energies(
+        make_rates(),
+        make_rates(im=1.1, trans=8.0),
+        make_rates(im=1.0, trans=0.0))
+    leakage = calibrate_leakage(30e-6, logic_kge_mcref=102.0)
+    technology = make_technology()
+    return energies, leakage, technology
+
+
+def make_model(parts, arch="mc-ref", post_layout_factor=1.0, **kwargs):
+    energies, leakage, technology = parts
+    return PowerModel(build_config(arch), synthetic_stats(arch, **kwargs),
+                      energies, leakage, technology,
+                      post_layout_factor=post_layout_factor)
+
+
+class TestScalingLaws:
+    def test_dynamic_power_linear_in_frequency(self, parts):
+        model = make_model(parts)
+        p1 = model.dynamic_power(1e6, 1.2).total
+        p2 = model.dynamic_power(2e6, 1.2).total
+        assert p2 == pytest.approx(2 * p1)
+
+    def test_dynamic_power_quadratic_in_voltage(self, parts):
+        model = make_model(parts)
+        p_nom = model.dynamic_power(1e6, 1.2).total
+        p_half = model.dynamic_power(1e6, 0.6).total
+        assert p_half == pytest.approx(p_nom / 4)
+
+    def test_post_layout_factor_is_uniform(self, parts):
+        model = make_model(parts, post_layout_factor=7.8)
+        raw = model.dynamic_power(1e6, 1.2, post_layout=False)
+        scaled = model.dynamic_power(1e6, 1.2, post_layout=True)
+        for name, value in raw.as_dict().items():
+            assert scaled.as_dict()[name] == pytest.approx(7.8 * value)
+        # Ratios (the paper's savings) are invariant.
+        assert scaled.shares() == pytest.approx(raw.shares())
+
+    def test_leakage_independent_of_frequency(self, parts):
+        model = make_model(parts)
+        assert model.total_leakage(0.5) == model.total_leakage(0.5)
+        low = model.total_power(1e3, 0.5)
+        lower = model.total_power(1e2, 0.5)
+        assert low > lower > model.total_leakage(0.5)
+
+
+class TestGating:
+    def test_gated_banks_cut_im_leakage(self, parts):
+        full = make_model(parts, arch="ulpmc-bank", gated=0)
+        gated = make_model(parts, arch="ulpmc-bank", gated=7)
+        leak_full = full.leakage_power(1.2)
+        leak_gated = gated.leakage_power(1.2)
+        assert leak_gated["im"] == pytest.approx(leak_full["im"] / 8)
+        assert leak_gated["dm"] == leak_full["dm"]
+
+    def test_mcref_has_no_ixbar_terms(self, parts):
+        model = make_model(parts, arch="mc-ref")
+        breakdown = model.dynamic_power(1e6, 1.2)
+        assert breakdown.ixbar == 0.0
+
+    def test_proposed_pays_transition_energy(self, parts):
+        quiet = make_model(parts, arch="ulpmc-bank", transitions=0)
+        busy = make_model(parts, arch="ulpmc-bank", transitions=80_000)
+        p_quiet = quiet.dynamic_power(1e6, 1.2)
+        p_busy = busy.dynamic_power(1e6, 1.2)
+        assert p_busy.cores > p_quiet.cores
+        assert p_busy.ixbar > p_quiet.ixbar
+
+
+class TestEnergyPerOp:
+    def test_mcref_energy_per_op_near_80pj(self, parts):
+        model = make_model(parts)
+        assert model.energy_per_op() * 1e12 == pytest.approx(80.0, rel=0.1)

@@ -1,0 +1,74 @@
+"""Synthesis clock-constraint model (Figs. 5 and 6 machinery)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.power.synthesis import (
+    DESIGN_POINTS_NS,
+    IXBAR_PATH_DELAY_NS,
+    KNEE_LABELS_MW,
+    SynthesisModel,
+)
+from repro.power.technology import make_technology
+
+
+@pytest.fixture(scope="module")
+def model():
+    return SynthesisModel(make_technology(), leakage_nominal_w=30e-6)
+
+
+class TestCalibration:
+    @pytest.mark.parametrize("family", ["mc-ref", "proposed"])
+    def test_knee_labels_reproduced(self, model, family):
+        for period in DESIGN_POINTS_NS[family]:
+            measured = model.threshold_knee_power(family, period)
+            assert measured * 1e3 == pytest.approx(
+                KNEE_LABELS_MW[family][period], rel=1e-6)
+
+    def test_savings_vs_speed_optimised(self, model):
+        assert 100 * model.saving_vs_speed_optimised("mc-ref") \
+            == pytest.approx(15.5, abs=0.3)
+        assert 100 * model.saving_vs_speed_optimised("proposed") \
+            == pytest.approx(24.1, abs=0.3)
+
+    def test_ixbar_critical_path_delay(self):
+        assert IXBAR_PATH_DELAY_NS == pytest.approx(1.8)
+        assert min(DESIGN_POINTS_NS["proposed"]) \
+            - min(DESIGN_POINTS_NS["mc-ref"]) == pytest.approx(1.8)
+
+
+class TestPhysicalConsistency:
+    @pytest.mark.parametrize("family", ["mc-ref", "proposed"])
+    def test_tighter_constraint_higher_energy(self, model, family):
+        """Speed-optimised designs pay more energy per op: the solved
+        multipliers must decrease with the clock period."""
+        periods = sorted(DESIGN_POINTS_NS[family])
+        multipliers = [model.energy_multiplier(family, p) for p in periods]
+        assert multipliers == sorted(multipliers, reverse=True)
+        assert model.energy_multiplier(family, 12.0) == pytest.approx(1.0)
+
+    def test_power_monotone_in_workload(self, model):
+        powers = [model.power("mc-ref", 12.0, w)
+                  for w in (1e5, 1e6, 1e7, 1e8, 6e8)]
+        assert powers == sorted(powers)
+
+    def test_max_workload_scales_with_period(self, model):
+        assert model.max_workload("mc-ref", 7.1) \
+            > model.max_workload("mc-ref", 12.0)
+        assert model.max_workload("mc-ref", 12.0) \
+            == pytest.approx(666.7e6, rel=1e-3)
+
+    def test_curve_generation(self, model):
+        curve = model.power_curve("proposed", 12.0, [1e6, 1e7])
+        assert len(curve) == 2
+        assert curve[0][1] < curve[1][1]
+
+
+class TestGuards:
+    def test_unknown_design_point(self, model):
+        with pytest.raises(ConfigurationError):
+            model.design_point("mc-ref", 13.0)
+
+    def test_workload_beyond_peak(self, model):
+        with pytest.raises(ConfigurationError):
+            model.power("mc-ref", 20.0, 500e6)

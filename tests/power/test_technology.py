@@ -1,0 +1,79 @@
+"""Technology model: delay/voltage scaling."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import CalibrationError
+from repro.power.technology import (
+    THRESHOLD_SPEED_RATIO,
+    TechnologyModel,
+    make_technology,
+)
+
+voltages = st.floats(min_value=0.5, max_value=1.2)
+
+
+@pytest.fixture(scope="module")
+def tech():
+    return make_technology()
+
+
+class TestCalibration:
+    def test_anchor_hit_exactly(self, tech):
+        assert tech.speed_factor(tech.v_min) \
+            == pytest.approx(THRESHOLD_SPEED_RATIO, rel=1e-8)
+
+    def test_nominal_speed_is_one(self, tech):
+        assert tech.speed_factor(tech.v_nom) == pytest.approx(1.0)
+
+    def test_alpha_plausible_for_near_threshold(self, tech):
+        assert 1.0 < tech.alpha < 4.0
+
+    def test_bad_ratio_rejected(self):
+        with pytest.raises(CalibrationError):
+            make_technology(threshold_speed_ratio=1.5)
+
+    def test_inconsistent_voltages_rejected(self):
+        with pytest.raises(CalibrationError):
+            TechnologyModel(v_nom=1.2, v_min=0.3, v_t=0.4)
+
+
+class TestMonotonicity:
+    def test_speed_monotone(self, tech):
+        previous = 0.0
+        for step in range(51):
+            v = 0.5 + step * (1.2 - 0.5) / 50
+            speed = tech.speed_factor(v)
+            assert speed >= previous
+            previous = speed
+
+    def test_speed_zero_at_threshold_device(self, tech):
+        assert tech.speed_factor(tech.v_t) == 0.0
+
+    @given(st.floats(min_value=0.016, max_value=1.0))
+    def test_voltage_for_speed_inverts(self, speed):
+        tech = make_technology()
+        v = tech.voltage_for_speed(speed)
+        assert tech.v_min <= v <= tech.v_nom
+        if speed > tech.min_speed_factor:
+            assert tech.speed_factor(v) == pytest.approx(speed, rel=1e-6)
+
+    def test_below_knee_returns_v_min(self, tech):
+        assert tech.voltage_for_speed(1e-6) == tech.v_min
+
+    def test_overspeed_rejected(self, tech):
+        with pytest.raises(CalibrationError):
+            tech.voltage_for_speed(1.5)
+
+
+class TestPowerScaling:
+    def test_dynamic_scale_is_square_law(self, tech):
+        """Paper: 'the power decreases with the square of the supply
+        voltage'."""
+        assert tech.dynamic_scale(1.2) == pytest.approx(1.0)
+        assert tech.dynamic_scale(0.6) == pytest.approx(0.25)
+
+    def test_leakage_scale(self, tech):
+        assert tech.leakage_scale(1.2) == pytest.approx(1.0)
+        assert tech.leakage_scale(0.5) < 0.25

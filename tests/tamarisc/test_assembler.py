@@ -1,0 +1,235 @@
+"""Assembler: expressions, operands, directives, pseudo-instructions."""
+
+import pytest
+
+from repro.errors import AssemblerError
+from repro.tamarisc.assembler import Assembler, assemble, evaluate
+from repro.tamarisc.encoding import decode
+from repro.tamarisc.isa import BranchMode, Cond, DstMode, Op, SrcMode
+
+
+class TestExpressions:
+    @pytest.mark.parametrize("text,expected", [
+        ("42", 42),
+        ("0x2A", 42),
+        ("0b101010", 42),
+        ("'a'", 97),
+        ("'\\n'", 10),
+        ("1+2*3", 7),
+        ("(1+2)*3", 9),
+        ("1<<12", 4096),
+        ("0xF0|0x0F", 255),
+        ("0xFF&0x0F", 15),
+        ("0xFF^0x0F", 240),
+        ("100/7", 14),
+        ("100%7", 2),
+        ("-5+10", 5),
+        ("~0&0xFFFF", 65535),
+        ("10-2-3", 5),
+        ("1<<4>>2", 4),
+    ])
+    def test_values(self, text, expected):
+        assert evaluate(text, {}) == expected
+
+    def test_symbols(self):
+        assert evaluate("BASE + 2*N", {"BASE": 0x100, "N": 8}) == 0x110
+
+    def test_undefined_symbol_raises_key_error(self):
+        with pytest.raises(KeyError):
+            evaluate("missing", {})
+
+    @pytest.mark.parametrize("text", ["1+", "(1", "1 2", "@", "*3"])
+    def test_malformed(self, text):
+        with pytest.raises(AssemblerError):
+            evaluate(text, {})
+
+
+class TestStatements:
+    def test_alu_with_all_source_modes(self):
+        program = assemble("""
+            add r0, r1, r2
+            add r0, r1, #5
+            add r0, [r1], r2
+            add r0, [r1++], #3
+            add r0, [r1--], r2
+            add r0, [++r1], r2
+            add r0, [--r1], r2
+            add r0, [r1+xr], r2
+        """)
+        modes = [decode(w).s1mode for w in program.words[2:]]
+        assert modes == [SrcMode.IND, SrcMode.IND_POSTINC,
+                         SrcMode.IND_POSTDEC, SrcMode.IND_PREINC,
+                         SrcMode.IND_PREDEC, SrcMode.IND_IDX]
+
+    def test_destination_modes(self):
+        program = assemble("""
+            mov r3, r1
+            mov [r3], r1
+            mov [r3++], r1
+            mov [r3+xr], r1
+        """)
+        modes = [decode(w).dmode for w in program.words]
+        assert modes == [DstMode.REG, DstMode.IND, DstMode.IND_POSTINC,
+                         DstMode.IND_IDX]
+
+    def test_register_aliases(self):
+        program = assemble("mov xr, r0\nmov lr, r0\nmov sp, r0")
+        assert [decode(w).dreg for w in program.words] == [13, 14, 15]
+
+    def test_mov_immediate_eleven_bits(self):
+        program = assemble("mov r1, #2047")
+        instr = decode(program.words[0])
+        assert instr.s1mode == SrcMode.IMM and instr.s1val == 2047
+
+    def test_mov_immediate_overflow_suggests_li(self):
+        with pytest.raises(AssemblerError, match="li"):
+            assemble("mov r1, #2048")
+
+    def test_alu_immediate_range(self):
+        with pytest.raises(AssemblerError, match="0..15"):
+            assemble("add r0, r1, #16")
+
+    def test_labels_and_direct_branch(self):
+        program = assemble("""
+        start:
+            nop
+        loop:
+            sub r1, r1, #1
+            bne loop
+            br al, start
+            hlt
+        """)
+        assert program.symbol("loop") == 1
+        branch = decode(program.words[2])
+        assert branch.bmode == BranchMode.DIR and branch.target == 1
+        assert decode(program.words[3]).target == 0
+
+    def test_relative_branch(self):
+        program = assemble("br al, pc-2\nbr ne, pc+3")
+        assert decode(program.words[0]).bmode == BranchMode.REL
+        assert decode(program.words[0]).target == -2
+        assert decode(program.words[1]).target == 3
+
+    def test_indirect_branch(self):
+        program = assemble("brx lr\nbr eq, r5")
+        first = decode(program.words[0])
+        assert first.bmode == BranchMode.IND and first.target == 14
+        assert first.cond == Cond.AL
+        second = decode(program.words[1])
+        assert second.cond == Cond.EQ and second.target == 5
+
+    def test_all_branch_aliases(self):
+        names = ["bra", "beq", "bne", "bcs", "bcc", "bmi", "bpl", "bvs",
+                 "bvc", "bhi", "bls", "bge", "blt", "bgt", "ble"]
+        source = "target:\n" + "\n".join(f"    {name} target"
+                                         for name in names)
+        program = assemble(source)
+        conds = [decode(w).cond for w in program.words]
+        assert conds[0] == Cond.AL
+        assert len(set(conds)) == 15
+
+
+class TestPseudoInstructions:
+    @pytest.mark.parametrize("value,words", [
+        (0, 1), (2047, 1), (2048, 3), (0x7FFF, 3), (0x8000, 5),
+        (0xFFFF, 5),
+    ])
+    def test_li_length(self, value, words):
+        program = assemble(f"li r1, {value}")
+        assert len(program) == words
+
+    @pytest.mark.parametrize("value", [
+        0, 1, 15, 16, 255, 2047, 2048, 4095, 0x1234, 0x7FFF, 0x8000,
+        0xABCD, 0xFFFF,
+    ])
+    def test_li_loads_correct_value(self, value):
+        from repro.tamarisc.iss import InstructionSetSimulator
+        program = assemble(f"li r1, {value}\nhlt")
+        iss = InstructionSetSimulator(program)
+        iss.run()
+        assert iss.core.regs[1] == value
+
+    def test_li_forward_reference_is_padded(self):
+        program = assemble("""
+            li r1, target
+            hlt
+        target:
+        """)
+        # Forward references always occupy 3 words for stable layout.
+        assert program.symbol("target") == 4
+
+    def test_nop_is_harmless_mov(self):
+        program = assemble("nop")
+        instr = decode(program.words[0])
+        assert instr.op == Op.MOV and instr.dreg == 0
+
+
+class TestDirectives:
+    def test_equ(self):
+        program = assemble(".equ A, 5\n.equ B, A*2\nmov r0, #B")
+        assert decode(program.words[0]).s1val == 10
+
+    def test_equ_not_listed_as_label(self):
+        program = assemble(".equ A, 5\nstart:\n    hlt")
+        assert "A" not in program.symbols
+        assert "start" in program.symbols
+
+    def test_org_pads_with_hlt(self):
+        program = assemble("nop\n.org 4\nlabel: nop")
+        assert program.symbol("label") == 4
+        assert decode(program.words[2]).op == Op.HLT
+
+    def test_org_backwards_rejected(self):
+        with pytest.raises(AssemblerError, match="backwards"):
+            assemble("nop\nnop\n.org 1")
+
+    def test_word_emits_raw(self):
+        program = assemble(".word 0xA00000")
+        assert program.words == [0xA00000]
+
+
+class TestErrors:
+    @pytest.mark.parametrize("source,pattern", [
+        ("frobnicate r1", "unknown mnemonic"),
+        ("dup: nop\ndup: nop", "duplicate"),
+        ("add r0, r1", "needs"),
+        ("mov #5, r1", "immediate"),
+        ("add [r1--], r0, r1", "destination"),
+        ("add r0, [r1], [r2]", "data-read"),
+        ("br xx, 0", "unknown condition"),
+        ("bne nowhere", "undefined symbol"),
+    ])
+    def test_rejects(self, source, pattern):
+        with pytest.raises(AssemblerError, match=pattern):
+            assemble(source)
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(AssemblerError, match="line 3"):
+            assemble("nop\nnop\nbogus r0")
+
+    def test_entry_label(self):
+        program = assemble("nop\nmain: hlt", entry="main")
+        assert program.entry == 1
+
+    def test_comments_and_blank_lines(self):
+        program = assemble("""
+        ; full-line comment
+        // another comment style
+
+        nop   ; trailing comment
+        nop   // trailing
+        """)
+        assert len(program) == 2
+
+    def test_source_map(self):
+        program = assemble("nop\n\nnop")
+        assert program.source_map[0] == 1
+        assert program.source_map[1] == 3
+
+
+class TestAssemblerState:
+    def test_assembler_instances_are_independent(self):
+        first = Assembler().assemble("a: nop")
+        second = Assembler().assemble("a: hlt")
+        assert first.symbol("a") == second.symbol("a") == 0
+        assert first.words != second.words

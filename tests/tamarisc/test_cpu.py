@@ -1,0 +1,189 @@
+"""Core model: operand walk stability, side effects, branches."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.tamarisc.cpu import Core
+from repro.tamarisc.isa import (
+    BranchMode,
+    Cond,
+    DstMode,
+    Instruction,
+    Op,
+    REG_XR,
+    SrcMode,
+)
+
+from tests.tamarisc.test_encoding import alu_instructions, mov_instructions
+
+data_instructions = st.one_of(alu_instructions(), mov_instructions())
+reg_values = st.lists(st.integers(min_value=0, max_value=0xFFFF),
+                      min_size=16, max_size=16)
+
+
+def make_core(regs):
+    core = Core()
+    core.regs = list(regs)
+    return core
+
+
+class TestOperandWalk:
+    @given(data_instructions, reg_values,
+           st.integers(min_value=0, max_value=0xFFFF))
+    def test_preview_matches_execute(self, instr, regs, mem_value):
+        """The addresses previewed for arbitration equal those used at
+        commit, and preview never mutates state."""
+        core = make_core(regs)
+        before = list(core.regs)
+        dread, dwrite = core.data_requests(instr)
+        assert core.regs == before, "preview mutated registers"
+        dread2, dwrite2 = core.data_requests(instr)
+        assert (dread, dwrite) == (dread2, dwrite2), "preview not stable"
+
+        value = mem_value if dread is not None else None
+        store = core.execute(instr, value)
+        if store is None:
+            assert dwrite is None
+        else:
+            assert dwrite is not None and store[0] == dwrite.addr
+
+    @given(data_instructions, reg_values,
+           st.integers(min_value=0, max_value=0xFFFF))
+    def test_pc_advances_by_one(self, instr, regs, mem_value):
+        core = make_core(regs)
+        dread, __ = core.data_requests(instr)
+        core.execute(instr, mem_value if dread else None)
+        assert core.pc == 1
+        assert core.retired == 1
+
+
+class TestSideEffects:
+    def test_post_increment(self):
+        core = make_core([0] * 16)
+        core.regs[1] = 100
+        instr = Instruction(op=Op.MOV, dreg=2,
+                            s1mode=SrcMode.IND_POSTINC, s1val=1)
+        dread, __ = core.data_requests(instr)
+        assert dread.addr == 100
+        core.execute(instr, 7)
+        assert core.regs[1] == 101 and core.regs[2] == 7
+
+    def test_pre_decrement(self):
+        core = make_core([0] * 16)
+        core.regs[1] = 100
+        instr = Instruction(op=Op.MOV, dreg=2,
+                            s1mode=SrcMode.IND_PREDEC, s1val=1)
+        dread, __ = core.data_requests(instr)
+        assert dread.addr == 99
+        core.execute(instr, 3)
+        assert core.regs[1] == 99
+
+    def test_indexed_addressing_uses_xr(self):
+        core = make_core([0] * 16)
+        core.regs[1] = 0x200
+        core.regs[REG_XR] = 5
+        instr = Instruction(op=Op.MOV, dreg=2, s1mode=SrcMode.IND_IDX,
+                            s1val=1)
+        dread, __ = core.data_requests(instr)
+        assert dread.addr == 0x205
+
+    def test_mem_to_mem_move_same_pointer(self):
+        """mov [r1++], [r1++]: source evaluated first, then destination."""
+        core = make_core([0] * 16)
+        core.regs[1] = 10
+        instr = Instruction(op=Op.MOV, dmode=DstMode.IND_POSTINC, dreg=1,
+                            s1mode=SrcMode.IND_POSTINC, s1val=1)
+        dread, dwrite = core.data_requests(instr)
+        assert dread.addr == 10 and dwrite.addr == 11
+        store = core.execute(instr, 42)
+        assert store == (11, 42)
+        assert core.regs[1] == 12
+
+    def test_register_destination_wins_over_side_effect(self):
+        """add r1, [r1++], #1: the ALU result lands in r1, overriding the
+        post-increment."""
+        core = make_core([0] * 16)
+        core.regs[1] = 10
+        instr = Instruction(op=Op.ADD, dreg=1,
+                            s1mode=SrcMode.IND_POSTINC, s1val=1,
+                            s2mode=SrcMode.IMM, s2val=1)
+        core.execute(instr, 100)
+        assert core.regs[1] == 101
+
+    def test_wraparound_pointer(self):
+        core = make_core([0] * 16)
+        core.regs[1] = 0xFFFF
+        instr = Instruction(op=Op.MOV, dreg=2,
+                            s1mode=SrcMode.IND_POSTINC, s1val=1)
+        core.execute(instr, 0)
+        assert core.regs[1] == 0
+
+
+class TestBranches:
+    def test_taken_direct(self):
+        core = make_core([0] * 16)
+        core.execute(Instruction(op=Op.BR, cond=Cond.AL,
+                                 bmode=BranchMode.DIR, target=40))
+        assert core.pc == 40
+
+    def test_not_taken_falls_through(self):
+        core = make_core([0] * 16)
+        core.flags.z = False
+        core.execute(Instruction(op=Op.BR, cond=Cond.EQ,
+                                 bmode=BranchMode.DIR, target=40))
+        assert core.pc == 1
+
+    def test_relative_backwards(self):
+        core = make_core([0] * 16)
+        core.pc = 10
+        core.execute(Instruction(op=Op.BR, cond=Cond.AL,
+                                 bmode=BranchMode.REL, target=-3))
+        assert core.pc == 7
+
+    def test_register_indirect(self):
+        core = make_core([0] * 16)
+        core.regs[5] = 123
+        core.execute(Instruction(op=Op.BR, cond=Cond.AL,
+                                 bmode=BranchMode.IND, target=5))
+        assert core.pc == 123
+
+    def test_branch_preserves_flags(self):
+        core = make_core([0] * 16)
+        core.flags.c = True
+        core.execute(Instruction(op=Op.BR, cond=Cond.CS,
+                                 bmode=BranchMode.DIR, target=3))
+        assert core.flags.c
+
+
+class TestHalt:
+    def test_hlt_stops_the_core(self):
+        core = make_core([0] * 16)
+        core.execute(Instruction(op=Op.HLT))
+        assert core.halted
+        with pytest.raises(SimulationError):
+            core.execute(Instruction(op=Op.HLT))
+
+    def test_reset_clears_everything(self):
+        core = make_core([1] * 16)
+        core.execute(Instruction(op=Op.HLT))
+        core.reset(entry=5)
+        assert not core.halted and core.pc == 5
+        assert core.regs == [0] * 16 and core.retired == 0
+
+
+class TestMovSemantics:
+    def test_mov_does_not_touch_flags(self):
+        core = make_core([0] * 16)
+        core.flags.z = True
+        core.flags.c = True
+        core.execute(Instruction(op=Op.MOV, dreg=1, s1mode=SrcMode.IMM,
+                                 s1val=0))
+        assert core.flags.z and core.flags.c
+
+    def test_missing_memory_value_raises(self):
+        core = make_core([0] * 16)
+        instr = Instruction(op=Op.MOV, dreg=1, s1mode=SrcMode.IND, s1val=2)
+        with pytest.raises(SimulationError):
+            core.execute(instr, None)

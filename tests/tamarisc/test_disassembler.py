@@ -1,0 +1,55 @@
+"""Disassembler round trips: asm -> words -> asm -> identical words."""
+
+from hypothesis import given
+
+from repro.tamarisc.assembler import assemble
+from repro.tamarisc.disassembler import (
+    disassemble,
+    disassemble_program,
+)
+from repro.tamarisc.encoding import encode
+
+from tests.tamarisc.test_encoding import any_instruction
+
+
+@given(any_instruction)
+def test_disassemble_reassemble_round_trip(instr):
+    word = encode(instr)
+    text = disassemble(word)
+    program = assemble(text)
+    assert program.words == [word]
+
+
+def test_listing_contains_labels_and_addresses():
+    program = assemble("""
+    start:
+        mov r1, #7
+    loop:
+        sub r1, r1, #1
+        bne loop
+        hlt
+    """)
+    listing = disassemble_program(program)
+    assert "start:" in listing
+    assert "loop:" in listing
+    assert "hlt" in listing
+    assert "0x0000" in listing
+
+
+def test_listing_reassembles_to_same_words():
+    source = """
+        li   r2, 0x4321
+        mov  r3, [r2++]
+        add  r3, r3, [r2+xr]
+        mov  [r2], r3
+        br   cs, pc-3
+        brx  r3
+        hlt
+    """
+    program = assemble(source)
+    listing_lines = []
+    for line in disassemble_program(program).splitlines():
+        if not line.endswith(":"):
+            listing_lines.append(line.split(None, 2)[2])
+    reassembled = assemble("\n".join(listing_lines))
+    assert reassembled.words == program.words

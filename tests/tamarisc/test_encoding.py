@@ -1,0 +1,150 @@
+"""24-bit encoding round trips and illegal-encoding rejection."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import EncodingError
+from repro.tamarisc.encoding import decode, encode
+from repro.tamarisc.isa import (
+    ALU_OPS,
+    BranchMode,
+    Cond,
+    DstMode,
+    IMM11_MAX,
+    Instruction,
+    Op,
+    SrcMode,
+)
+
+regs = st.integers(min_value=0, max_value=15)
+imm4 = st.integers(min_value=0, max_value=15)
+dst_modes = st.sampled_from(list(DstMode))
+src_modes = st.sampled_from(list(SrcMode))
+
+
+def source(mode, value):
+    """Clamp a source operand's payload to its mode's legal range."""
+    return value
+
+
+@st.composite
+def alu_instructions(draw):
+    op = draw(st.sampled_from(sorted(ALU_OPS)))
+    s1mode = draw(src_modes)
+    s2_choices = [SrcMode.REG, SrcMode.IMM] \
+        if s1mode not in (SrcMode.REG, SrcMode.IMM) else list(SrcMode)
+    s2mode = draw(st.sampled_from(s2_choices))
+    return Instruction(
+        op=op, dmode=draw(dst_modes), dreg=draw(regs),
+        s1mode=s1mode, s1val=draw(regs),
+        s2mode=s2mode, s2val=draw(regs),
+    )
+
+
+@st.composite
+def mov_instructions(draw):
+    s1mode = draw(src_modes)
+    if s1mode == SrcMode.IMM:
+        s1val = draw(st.integers(min_value=0, max_value=IMM11_MAX))
+    else:
+        s1val = draw(regs)
+    return Instruction(op=Op.MOV, dmode=draw(dst_modes), dreg=draw(regs),
+                       s1mode=s1mode, s1val=s1val)
+
+
+@st.composite
+def branch_instructions(draw):
+    bmode = draw(st.sampled_from(list(BranchMode)))
+    if bmode == BranchMode.DIR:
+        target = draw(st.integers(min_value=0, max_value=(1 << 14) - 1))
+    elif bmode == BranchMode.REL:
+        target = draw(st.integers(min_value=-(1 << 13),
+                                  max_value=(1 << 13) - 1))
+    else:
+        target = draw(regs)
+    return Instruction(op=Op.BR, cond=draw(st.sampled_from(list(Cond))),
+                       bmode=bmode, target=target)
+
+
+any_instruction = st.one_of(
+    alu_instructions(), mov_instructions(), branch_instructions(),
+    st.just(Instruction(op=Op.HLT)))
+
+
+class TestRoundTrip:
+    @given(any_instruction)
+    def test_encode_decode_round_trip(self, instr):
+        word = encode(instr)
+        assert 0 <= word < (1 << 24)
+        assert decode(word) == instr
+
+    @given(any_instruction)
+    def test_encoding_is_deterministic(self, instr):
+        assert encode(instr) == encode(instr)
+
+    @given(any_instruction, any_instruction)
+    def test_distinct_instructions_encode_differently(self, a, b):
+        if a != b:
+            assert encode(a) != encode(b)
+
+
+class TestFieldLimits:
+    def test_mov_immediate_eleven_bits(self):
+        encode(Instruction(op=Op.MOV, dreg=0, s1mode=SrcMode.IMM,
+                           s1val=IMM11_MAX))
+        with pytest.raises(EncodingError):
+            encode(Instruction(op=Op.MOV, dreg=0, s1mode=SrcMode.IMM,
+                               s1val=IMM11_MAX + 1))
+
+    def test_alu_immediate_four_bits(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction(op=Op.ADD, dreg=0, s1mode=SrcMode.IMM,
+                               s1val=16, s2mode=SrcMode.REG, s2val=0))
+
+    def test_direct_branch_target_fourteen_bits(self):
+        encode(Instruction(op=Op.BR, bmode=BranchMode.DIR,
+                           target=(1 << 14) - 1))
+        with pytest.raises(EncodingError):
+            encode(Instruction(op=Op.BR, bmode=BranchMode.DIR,
+                               target=1 << 14))
+
+    def test_relative_branch_range(self):
+        encode(Instruction(op=Op.BR, bmode=BranchMode.REL,
+                           target=-(1 << 13)))
+        with pytest.raises(EncodingError):
+            encode(Instruction(op=Op.BR, bmode=BranchMode.REL,
+                               target=1 << 13))
+
+    def test_two_memory_sources_rejected(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction(op=Op.ADD, dreg=0,
+                               s1mode=SrcMode.IND, s1val=1,
+                               s2mode=SrcMode.IND_POSTINC, s2val=2))
+
+
+class TestIllegalWords:
+    @pytest.mark.parametrize("word", [
+        0xB00000,  # opcode 11
+        0xF00000,  # opcode 15
+        0xA00001,  # HLT with operand bits
+        0x9F0000,  # BR with reserved condition 15
+        0x90C000,  # BR with reserved target mode 3
+    ])
+    def test_rejected(self, word):
+        with pytest.raises(EncodingError):
+            decode(word)
+
+    def test_word_beyond_24_bits_rejected(self):
+        with pytest.raises(EncodingError):
+            decode(1 << 24)
+
+    @given(st.integers(min_value=0, max_value=(1 << 24) - 1))
+    def test_decode_never_crashes(self, word):
+        """Every 24-bit word either decodes or raises EncodingError."""
+        try:
+            instr = decode(word)
+        except EncodingError:
+            return
+        # A successfully decoded word must re-encode to itself.
+        assert encode(instr) == word

@@ -1,0 +1,175 @@
+"""ALU semantics, flags and condition modes."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.tamarisc.isa import (
+    ALU_OPS,
+    Cond,
+    Flags,
+    Instruction,
+    Op,
+    SrcMode,
+    WORD_MASK,
+    alu_compute,
+    cond_holds,
+    to_signed,
+    to_word,
+)
+
+words = st.integers(min_value=0, max_value=WORD_MASK)
+
+
+class TestAluSemantics:
+    def test_isa_has_exactly_eleven_instructions(self):
+        assert len(Op) == 11
+        assert len(ALU_OPS) == 8
+
+    @given(words, words)
+    def test_add_matches_modular_arithmetic(self, a, b):
+        result, flags = alu_compute(Op.ADD, a, b, Flags())
+        assert result == (a + b) & WORD_MASK
+        assert flags.c == (a + b > WORD_MASK)
+        assert flags.z == (result == 0)
+        assert flags.n == bool(result & 0x8000)
+
+    @given(words, words)
+    def test_add_signed_overflow(self, a, b):
+        __, flags = alu_compute(Op.ADD, a, b, Flags())
+        true_sum = to_signed(a) + to_signed(b)
+        assert flags.v == not_representable(true_sum)
+
+    @given(words, words)
+    def test_sub_matches_modular_arithmetic(self, a, b):
+        result, flags = alu_compute(Op.SUB, a, b, Flags())
+        assert result == (a - b) & WORD_MASK
+        assert flags.c == (a >= b)  # carry = no borrow
+        diff = to_signed(a) - to_signed(b)
+        assert flags.v == not_representable(diff)
+
+    @given(words, words)
+    def test_logic_ops(self, a, b):
+        assert alu_compute(Op.AND, a, b, Flags())[0] == a & b
+        assert alu_compute(Op.OR, a, b, Flags())[0] == a | b
+        assert alu_compute(Op.XOR, a, b, Flags())[0] == a ^ b
+
+    @given(words, words)
+    def test_logic_preserves_carry_and_overflow(self, a, b):
+        before = Flags(c=True, v=True)
+        __, flags = alu_compute(Op.AND, a, b, before)
+        assert flags.c and flags.v
+
+    @given(words, st.integers(min_value=0, max_value=15))
+    def test_shifts(self, a, sh):
+        left, lf = alu_compute(Op.SLL, a, sh, Flags())
+        right, rf = alu_compute(Op.SRL, a, sh, Flags())
+        assert left == (a << sh) & WORD_MASK
+        assert right == a >> sh
+        if sh:
+            assert lf.c == bool((a >> (16 - sh)) & 1)
+            assert rf.c == bool((a >> (sh - 1)) & 1)
+        else:
+            assert not lf.c and not rf.c
+
+    @given(words, words)
+    def test_shift_amount_uses_low_four_bits(self, a, b):
+        full, __ = alu_compute(Op.SLL, a, b, Flags())
+        masked, __ = alu_compute(Op.SLL, a, b & 15, Flags())
+        assert full == masked
+
+    @given(words, words)
+    def test_mul_low_half_and_overflow_flag(self, a, b):
+        result, flags = alu_compute(Op.MUL, a, b, Flags())
+        assert result == (a * b) & WORD_MASK
+        assert flags.v == (a * b > WORD_MASK)
+
+    def test_non_alu_opcode_rejected(self):
+        with pytest.raises(ValueError):
+            alu_compute(Op.MOV, 1, 2, Flags())
+
+
+def not_representable(value: int) -> bool:
+    return not -0x8000 <= value <= 0x7FFF
+
+
+class TestConditions:
+    def test_always(self):
+        assert cond_holds(Cond.AL, Flags())
+
+    @pytest.mark.parametrize("cond,flags,expected", [
+        (Cond.EQ, Flags(z=True), True),
+        (Cond.EQ, Flags(z=False), False),
+        (Cond.NE, Flags(z=False), True),
+        (Cond.CS, Flags(c=True), True),
+        (Cond.CC, Flags(c=True), False),
+        (Cond.MI, Flags(n=True), True),
+        (Cond.PL, Flags(n=True), False),
+        (Cond.VS, Flags(v=True), True),
+        (Cond.VC, Flags(v=False), True),
+        (Cond.HI, Flags(c=True, z=False), True),
+        (Cond.HI, Flags(c=True, z=True), False),
+        (Cond.LS, Flags(c=False), True),
+        (Cond.GE, Flags(n=True, v=True), True),
+        (Cond.GE, Flags(n=True, v=False), False),
+        (Cond.LT, Flags(n=False, v=True), True),
+        (Cond.GT, Flags(z=False, n=False, v=False), True),
+        (Cond.GT, Flags(z=True, n=False, v=False), False),
+        (Cond.LE, Flags(z=True), True),
+    ])
+    def test_flag_dependent_modes(self, cond, flags, expected):
+        assert cond_holds(cond, flags) == expected
+
+    @given(words, words)
+    def test_signed_comparison_via_sub_flags(self, a, b):
+        """SUB then GE/LT/GT/LE implements signed comparison."""
+        __, flags = alu_compute(Op.SUB, a, b, Flags())
+        sa, sb = to_signed(a), to_signed(b)
+        assert cond_holds(Cond.GE, flags) == (sa >= sb)
+        assert cond_holds(Cond.LT, flags) == (sa < sb)
+        assert cond_holds(Cond.GT, flags) == (sa > sb)
+        assert cond_holds(Cond.LE, flags) == (sa <= sb)
+
+    @given(words, words)
+    def test_unsigned_comparison_via_sub_flags(self, a, b):
+        __, flags = alu_compute(Op.SUB, a, b, Flags())
+        assert cond_holds(Cond.CS, flags) == (a >= b)
+        assert cond_holds(Cond.HI, flags) == (a > b)
+        assert cond_holds(Cond.LS, flags) == (a <= b)
+
+    def test_reserved_condition_rejected(self):
+        with pytest.raises(ValueError):
+            cond_holds(15, Flags())
+
+    def test_fifteen_condition_modes(self):
+        assert len(Cond) == 15
+
+
+class TestHelpers:
+    @given(words)
+    def test_to_signed_round_trip(self, w):
+        assert to_word(to_signed(w)) == w
+
+    @given(st.integers(min_value=-0x8000, max_value=0x7FFF))
+    def test_to_word_round_trip(self, v):
+        assert to_signed(to_word(v)) == v
+
+
+class TestInstructionStructure:
+    def test_two_memory_sources_rejected(self):
+        instr = Instruction(op=Op.ADD, dreg=0,
+                            s1mode=SrcMode.IND, s1val=1,
+                            s2mode=SrcMode.IND, s2val=2)
+        with pytest.raises(ValueError):
+            instr.validate()
+
+    def test_mov_memory_to_memory_is_legal(self):
+        from repro.tamarisc.isa import DstMode
+        instr = Instruction(op=Op.MOV, dmode=DstMode.IND_POSTINC, dreg=2,
+                            s1mode=SrcMode.IND_POSTINC, s1val=1)
+        instr.validate()
+        assert instr.reads_mem() and instr.writes_mem()
+
+    def test_branch_has_no_data_ports(self):
+        instr = Instruction(op=Op.BR)
+        assert not instr.reads_mem() and not instr.writes_mem()

@@ -1,0 +1,135 @@
+"""Functional single-core simulator on real programs."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.tamarisc.assembler import assemble
+from repro.tamarisc.iss import InstructionSetSimulator
+
+
+def run(source, data=None, max_cycles=200_000):
+    iss = InstructionSetSimulator(assemble(source), data=data)
+    iss.run(max_cycles=max_cycles)
+    return iss
+
+
+class TestPrograms:
+    def test_sum_of_first_n(self):
+        iss = run("""
+            mov r1, #0
+            mov r2, #100
+        loop:
+            add r1, r1, r2
+            sub r2, r2, #1
+            bne loop
+            hlt
+        """)
+        assert iss.core.regs[1] == 5050
+
+    def test_fibonacci(self):
+        iss = run("""
+            mov r1, #0
+            mov r2, #1
+            mov r3, #20
+        loop:
+            add r4, r1, r2
+            mov r1, r2
+            mov r2, r4
+            sub r3, r3, #1
+            bne loop
+            hlt
+        """)
+        assert iss.core.regs[1] == 6765  # fib(20)
+
+    def test_memcpy_with_mem_to_mem_mov(self):
+        data = {0x100 + i: (i * 3) & 0xFFFF for i in range(32)}
+        iss = run("""
+            li  r1, 0x100
+            li  r2, 0x200
+            mov r3, #32
+        loop:
+            mov [r2++], [r1++]
+            sub r3, r3, #1
+            bne loop
+            hlt
+        """, data=data)
+        assert iss.read_block(0x200, 32) == [v for __, v
+                                             in sorted(data.items())]
+        assert iss.stats.dreads == 32 and iss.stats.dwrites == 32
+
+    def test_subroutine_call_via_link_register(self):
+        iss = run("""
+            mov  r1, #5
+            li   lr, back
+            bra  double
+        back:
+            hlt
+        double:
+            add  r1, r1, r1
+            brx  lr
+        """)
+        assert iss.core.regs[1] == 10
+
+    def test_indexed_table_lookup(self):
+        data = {0x300 + i: i * i for i in range(16)}
+        iss = run("""
+            li  r1, 0x300
+            mov xr, #7
+            mov r2, [r1+xr]
+            hlt
+        """, data=data)
+        assert iss.core.regs[2] == 49
+
+    def test_sixteen_bit_wraparound_accumulation(self):
+        iss = run("""
+            li  r1, 0xFFF0
+            li  r2, 0x0020
+            add r3, r1, r2
+            hlt
+        """)
+        assert iss.core.regs[3] == 0x0010
+        assert iss.core.flags.c
+
+    def test_conditional_max(self):
+        iss = run("""
+            mov r1, #100
+            mov r2, #42
+            sub r0, r1, r2
+            bge keep_r1
+            mov r1, r2
+        keep_r1:
+            hlt
+        """)
+        assert iss.core.regs[1] == 100
+
+
+class TestStatistics:
+    def test_cycles_equal_retired_instructions(self):
+        iss = run("nop\nnop\nnop\nhlt")
+        assert iss.stats.cycles == 4
+        assert iss.core.retired == 4
+
+    def test_branch_taken_counted(self):
+        iss = run("""
+            mov r1, #3
+        loop:
+            sub r1, r1, #1
+            bne loop
+            hlt
+        """)
+        assert iss.stats.branches_taken == 2
+
+
+class TestGuards:
+    def test_runaway_program_detected(self):
+        with pytest.raises(SimulationError, match="did not halt"):
+            run("loop: bra loop", max_cycles=100)
+
+    def test_pc_out_of_program_detected(self):
+        iss = InstructionSetSimulator(assemble("nop\nnop"))
+        with pytest.raises(SimulationError, match="outside"):
+            iss.run(max_cycles=10)
+
+    def test_uninitialised_memory_reads_zero(self):
+        iss = run("li r1, 0x5000\nmov r2, [r1]\nhlt")
+        assert iss.core.regs[2] == 0

@@ -1,0 +1,30 @@
+"""Command-line driver."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_unknown_experiment_rejected(capsys):
+    with pytest.raises(SystemExit):
+        main(["nope"])
+
+
+def test_single_experiment_text(capsys):
+    assert main(["table1"]) == 0
+    out = capsys.readouterr().out
+    assert "Area of the architectures" in out
+    assert "paper" in out
+
+
+def test_csv_output(capsys):
+    assert main(["table1", "--csv"]) == 0
+    out = capsys.readouterr().out
+    assert out.splitlines()[0].startswith("component,")
+
+
+def test_output_directory(tmp_path, capsys):
+    assert main(["table1", "--output", str(tmp_path / "results")]) == 0
+    csv_file = tmp_path / "results" / "table1.csv"
+    assert csv_file.exists()
+    assert csv_file.read_text().startswith("component,")
