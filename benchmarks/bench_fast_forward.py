@@ -1,0 +1,119 @@
+"""Measures the fast-forward speedup on the 8-lead ECG compression workload.
+
+Runs the full CS+Huffman benchmark through the cycle-stepped reference
+loop and through the conflict-free fast-forward mode on each platform,
+verifies the outputs and every ``SimulationStats`` field are
+bit-identical, and reports the wall-clock speedup.  The conflict-free
+mc-ref configuration is the acceptance gate: the fast path must be at
+least 3x faster there.
+
+Usable both as a pytest-benchmark module and as a script::
+
+    python benchmarks/bench_fast_forward.py            # full workload
+    python benchmarks/bench_fast_forward.py --quick    # CI smoke run
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+
+_SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:  # direct script invocation
+    sys.path.insert(0, str(_SRC))
+
+from repro.kernels import BenchmarkSpec, build_benchmark, verify_result
+from repro.platform import ARCH_NAMES, build_platform
+
+#: Wall-clock speedup the fast path must reach on conflict-free mc-ref.
+TARGET_SPEEDUP = 3.0
+
+
+def compare_modes(arch: str, built) -> dict:
+    """Run one architecture in both modes; verify equality; time both."""
+    t0 = time.perf_counter()
+    slow = build_platform(arch, fast_forward=False).run(built.benchmark)
+    t1 = time.perf_counter()
+    fast_system = build_platform(arch, fast_forward=True)
+    t2 = time.perf_counter()
+    fast = fast_system.run(built.benchmark)
+    t3 = time.perf_counter()
+
+    verify_result(built, fast)
+    if slow.stats != fast.stats:
+        raise AssertionError(
+            f"{arch}: fast-forward statistics diverged from the "
+            "cycle-stepped reference")
+    engine = fast_system._ff_engine
+    return {
+        "arch": arch,
+        "slow_s": t1 - t0,
+        "fast_s": t3 - t2,
+        "speedup": (t1 - t0) / (t3 - t2),
+        "cycles": fast.stats.total_cycles,
+        "fast_cycles": engine.fast_cycles,
+        "fallbacks": engine.fallbacks,
+    }
+
+
+def run_comparison(spec: BenchmarkSpec) -> list[dict]:
+    built = build_benchmark(spec)
+    return [compare_modes(arch, built) for arch in ARCH_NAMES]
+
+
+def report(rows: list[dict]) -> None:
+    print(f"{'arch':<11} {'slow [s]':>9} {'fast [s]':>9} {'speedup':>8} "
+          f"{'fast cyc':>9} {'cycles':>8} {'fallbacks':>9}")
+    for row in rows:
+        print(f"{row['arch']:<11} {row['slow_s']:>9.3f} "
+              f"{row['fast_s']:>9.3f} {row['speedup']:>7.2f}x "
+              f"{row['fast_cycles']:>9} {row['cycles']:>8} "
+              f"{row['fallbacks']:>9}")
+
+
+def test_fast_forward_speedup(benchmark):
+    """pytest-benchmark entry: times the fast mode on mc-ref."""
+    built = build_benchmark(BenchmarkSpec(n_samples=128, n_measurements=64,
+                                          huffman_private=True))
+    row = compare_modes("mc-ref", built)
+    assert row["fallbacks"] == 0
+
+    def simulate():
+        result = build_platform("mc-ref", fast_forward=True) \
+            .run(built.benchmark)
+        verify_result(built, result)
+        return result.stats
+
+    stats = benchmark(simulate)
+    assert stats.im_conflict_events == 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="fast-forward vs cycle-stepped wall-clock comparison")
+    parser.add_argument("--quick", action="store_true",
+                        help="small-geometry smoke run (for CI)")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        spec = BenchmarkSpec(n_samples=64, n_measurements=32,
+                             huffman_private=True)
+    else:
+        spec = BenchmarkSpec(huffman_private=True)
+    rows = run_comparison(spec)
+    report(rows)
+
+    mc_ref = next(row for row in rows if row["arch"] == "mc-ref")
+    if not args.quick and mc_ref["speedup"] < TARGET_SPEEDUP:
+        print(f"FAIL: mc-ref speedup {mc_ref['speedup']:.2f}x is below "
+              f"the {TARGET_SPEEDUP}x target", file=sys.stderr)
+        return 1
+    print(f"OK: results bit-identical in both modes; mc-ref speedup "
+          f"{mc_ref['speedup']:.2f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,7 +24,15 @@ def main(argv=None) -> int:
                         help="emit raw CSV instead of formatted text")
     parser.add_argument("--output", metavar="DIR", default=None,
                         help="also write one CSV per experiment into DIR")
+    parser.add_argument(
+        "--fast-forward", action="store_true",
+        help="batch-commit provably conflict-free simulator cycles "
+             "(bit-identical results, several times faster)")
     args = parser.parse_args(argv)
+
+    if args.fast_forward:
+        from repro.platform import set_default_fast_forward
+        set_default_fast_forward(True)
 
     requested = list(EXPERIMENTS) if "all" in args.experiments \
         else args.experiments

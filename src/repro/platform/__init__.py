@@ -18,11 +18,14 @@ from repro.platform.config import (
     ULPMC_BANK,
     build_config,
 )
+from repro.platform.fast_forward import FastForwardEngine
 from repro.platform.multicore import (
     Benchmark,
     MultiCoreSystem,
+    MulticoreSimulator,
     SimulationResult,
     build_platform,
+    set_default_fast_forward,
 )
 from repro.platform.stats import SimulationStats
 from repro.platform.streaming import StreamReport, run_stream
@@ -43,8 +46,11 @@ __all__ = [
     "ULPMC_BANK",
     "build_config",
     "Benchmark",
+    "FastForwardEngine",
     "MultiCoreSystem",
+    "MulticoreSimulator",
     "SimulationResult",
     "build_platform",
+    "set_default_fast_forward",
     "SimulationStats",
 ]

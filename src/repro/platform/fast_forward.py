@@ -1,0 +1,383 @@
+"""Conflict-free fast-forward engine for the platform simulator.
+
+The cycle-stepped loop in :mod:`repro.platform.multicore` pays full
+request/arbitrate/commit machinery every cycle, yet on the evaluated
+workloads the overwhelming majority of cycles are *conflict-free*: every
+request is granted immediately (mc-ref fetches from private banks;
+ulpmc-int/-bank fetch in lockstep and broadcast; the MMU keeps private
+data in per-core banks).  In a conflict-free cycle the crossbars make no
+decisions — arbiters are not consulted, nobody stalls — so the cycle's
+entire effect on architectural state and statistics can be computed
+directly.
+
+:class:`FastForwardEngine` exploits that: while every running core sits
+at an instruction boundary it previews all memory requests of the next
+cycle, *proves* the cycle conflict-free, and commits every core through
+the decode-cached dispatch table of :mod:`repro.tamarisc.dispatch`.  The
+moment a cycle *could* conflict (two non-mergeable requests meet in one
+bank, or a lockstep broadcast is not available) the engine hands the
+fully-prepared cycle back to the exact cycle-stepped loop, which replays
+it through the real crossbars and round-robin arbiters.
+
+Exactness contract (enforced by ``tests/platform``):
+
+* Architectural state — registers, flags, PCs, data memory — is
+  bit-identical to the reference loop after every cycle.
+* Every :class:`~repro.platform.stats.SimulationStats` field is
+  reconstructed exactly: cycles, per-core retired/stall/halted_at,
+  bank accesses, deliveries, broadcasts and savings, conflict events
+  (always zero in fast cycles, by construction), per-master bank
+  transitions, MMU access mixes and sync cycles.
+* Arbiter pointers are untouched: the reference loop only advances them
+  on conflicts, which the fast path never commits.
+* Error behaviour matches cycle-for-cycle, including the exact messages
+  for running off the program, address-range violations and
+  ``max_cycles`` exhaustion.
+
+The engine batches its statistics in local counters and flushes them
+into the shared crossbar/MMU/system objects when it returns (also on
+exceptions), so a simulation may interleave fast and exact stretches
+freely.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.memory.layout import IMOrganization, PRIVATE_BASE
+
+
+class FastForwardEngine:
+    """Batch-commits provably conflict-free cycles for one system."""
+
+    def __init__(self, system, compiled):
+        self.system = system
+        config = system.config
+        n = config.n_cores
+        self.n = n
+        self.compiled = compiled
+        self.im_private = config.im_org == IMOrganization.PRIVATE
+        self.im_interleaved = config.im_org == IMOrganization.INTERLEAVED
+        self.im_banks = config.im_banks
+        self.im_bank_words = config.im_bank_words
+        self.instr_broadcast = config.instr_broadcast
+        self.data_broadcast = config.data_broadcast
+        dm = system.dm_layout
+        self.dm_banks_n = dm.banks
+        self.dm_layout = dm
+        self.shared_words = dm.shared_words
+        self.swb = dm.shared_words_per_bank
+        self.pwb = dm.private_words_per_bank
+        self.pwc = dm.private_words_per_core
+        self.core_banks = [dm.core_banks(i) for i in range(n)]
+        # Scratch per-core arrays, reused every cycle.
+        self._handlers = [None] * n
+        self._dr_bank = [-1] * n
+        self._dr_off = [0] * n
+        self._dw_bank = [-1] * n
+        self._dw_off = [0] * n
+        self._im_bank = [0] * n
+        # Diagnostics (not part of SimulationStats).
+        self.fast_cycles = 0
+        self.fallbacks = 0
+
+    def advance(self, running, attempts, core_stats, cycle, sync_cycles,
+                max_cycles):
+        """Commit conflict-free cycles until a potential conflict or halt.
+
+        Preconditions: every core in ``running`` sits at an instruction
+        boundary (no latched partial grants).  On a potential conflict
+        the cycle is *not* consumed: all attempts are prefilled (with
+        MMU accounting already applied, as ``_new_attempt`` would) and
+        the caller's exact loop replays the cycle through the crossbars.
+        Returns the updated ``(cycle, sync_cycles)``.
+        """
+        system = self.system
+        cores = system.cores
+        compiled = self.compiled
+        program_len = len(compiled)
+        dbanks = system.dmem.banks
+        layout = self.dm_layout
+        cbanks = self.core_banks
+        n = self.n
+        im_private = self.im_private
+        im_interleaved = self.im_interleaved
+        im_banks = self.im_banks
+        im_bank_words = self.im_bank_words
+        instr_broadcast = self.instr_broadcast
+        data_broadcast = self.data_broadcast
+        shared_words = self.shared_words
+        dbn = self.dm_banks_n
+        swb = self.swb
+        pwb = self.pwb
+        pwc = self.pwc
+
+        handlers = self._handlers
+        dr_bank = self._dr_bank
+        dr_off = self._dr_off
+        dw_bank = self._dw_bank
+        dw_off = self._dw_off
+        im_bank = self._im_bank
+
+        # Local stat accumulators, flushed on every exit path.
+        im_acc = im_del = im_bc = im_sv = 0
+        dm_acc = dm_del = dm_bc = dm_sv = 0
+        dreads = dwrites = 0
+        itrans = [0] * n
+        dtrans = [0] * n
+        ilast = list(system.ixbar._last_bank)
+        dlast = list(system.dxbar._last_bank)
+        mmu_t = [0] * n
+        mmu_p = [0] * n
+        mmu_s = [0] * n
+
+        run_list = sorted(running)
+        try:
+            while run_list:
+                if cycle >= max_cycles:
+                    raise SimulationError(
+                        f"benchmark {system.benchmark.name!r} did not "
+                        f"finish within {max_cycles} cycles on "
+                        f"{system.config.name}")
+
+                # ---- preview: addresses, translation, conflict proof ----
+                conflict = False
+                n_run = len(run_list)
+                dm_map = {}
+                dm_count = 0
+                first_pc = cores[run_list[0]].pc
+                lockstep = True
+                for pid in run_list:
+                    core = cores[pid]
+                    pc = core.pc
+                    if pc >= program_len:
+                        raise SimulationError(
+                            f"core {core.pid} ran off the program "
+                            f"at PC {pc:#x}")
+                    if pc != first_pc:
+                        lockstep = False
+                    handler = compiled[pc]
+                    handlers[pid] = handler
+                    preview = handler.preview
+                    if preview is None:
+                        dr_bank[pid] = -1
+                        dw_bank[pid] = -1
+                        continue
+                    ra, wa = preview(core.regs)
+                    if ra is not None:
+                        mmu_t[pid] += 1
+                        if ra >= PRIVATE_BASE:
+                            mmu_p[pid] += 1
+                            off = ra - PRIVATE_BASE
+                            if off >= pwc:
+                                layout.translate(pid, ra)  # exact raise
+                            rb = cbanks[pid][off // pwb]
+                            ro = swb + off % pwb
+                        else:
+                            mmu_s[pid] += 1
+                            if ra >= shared_words:
+                                layout.translate(pid, ra)  # exact raise
+                            rb = ra % dbn
+                            ro = ra // dbn
+                        dr_bank[pid] = rb
+                        dr_off[pid] = ro
+                        dm_count += 1
+                        entry = dm_map.get(rb)
+                        if entry is None:
+                            dm_map[rb] = [ro, 1, False]
+                        elif entry[2] or entry[0] != ro \
+                                or not data_broadcast:
+                            conflict = True
+                        else:
+                            entry[1] += 1
+                    else:
+                        dr_bank[pid] = -1
+                    if wa is not None:
+                        mmu_t[pid] += 1
+                        if wa >= PRIVATE_BASE:
+                            mmu_p[pid] += 1
+                            off = wa - PRIVATE_BASE
+                            if off >= pwc:
+                                layout.translate(pid, wa)  # exact raise
+                            wb = cbanks[pid][off // pwb]
+                            wo = swb + off % pwb
+                        else:
+                            mmu_s[pid] += 1
+                            if wa >= shared_words:
+                                layout.translate(pid, wa)  # exact raise
+                            wb = wa % dbn
+                            wo = wa // dbn
+                        dw_bank[pid] = wb
+                        dw_off[pid] = wo
+                        dm_count += 1
+                        if wb in dm_map:
+                            conflict = True  # writes never merge
+                        else:
+                            dm_map[wb] = [wo, 0, True]
+                    else:
+                        dw_bank[pid] = -1
+
+                # ---- instruction-side conflict proof ----
+                im_map = None
+                if im_private:
+                    pass  # one private bank per core: conflict-free
+                elif lockstep:
+                    if n_run > 1 and not instr_broadcast:
+                        conflict = True
+                    if im_interleaved:
+                        fb = first_pc % im_banks
+                    else:
+                        fb = first_pc // im_bank_words
+                else:
+                    im_map = {}
+                    for pid in run_list:
+                        pc = cores[pid].pc
+                        if im_interleaved:
+                            bank = pc % im_banks
+                            off = pc // im_banks
+                        else:
+                            bank = pc // im_bank_words
+                            off = pc % im_bank_words
+                        im_bank[pid] = bank
+                        entry = im_map.get(bank)
+                        if entry is None:
+                            im_map[bank] = [off, 1]
+                        elif entry[0] != off or not instr_broadcast:
+                            conflict = True
+                        else:
+                            entry[1] += 1
+
+                if conflict:
+                    # Hand the prepared cycle to the exact loop.  MMU
+                    # accounting already happened above (once per
+                    # attempt), so the loop must skip _new_attempt:
+                    # prefilling instr does exactly that.
+                    for pid in run_list:
+                        attempt = attempts[pid]
+                        attempt.instr = handlers[pid].instr
+                        attempt.fetch_pc = cores[pid].pc
+                        attempt.need_if = True
+                        rb = dr_bank[pid]
+                        if rb >= 0:
+                            attempt.need_dr = True
+                            attempt.dr_loc = (rb, dr_off[pid])
+                        else:
+                            attempt.need_dr = False
+                            attempt.dr_loc = None
+                        wb = dw_bank[pid]
+                        if wb >= 0:
+                            attempt.need_dw = True
+                            attempt.dw_loc = (wb, dw_off[pid])
+                        else:
+                            attempt.need_dw = False
+                            attempt.dw_loc = None
+                    self.fallbacks += 1
+                    return cycle, sync_cycles
+
+                # ---- commit the proven conflict-free cycle ----
+                cycle += 1
+                self.fast_cycles += 1
+                if lockstep and n_run > 1:
+                    sync_cycles += 1
+
+                im_del += n_run
+                if im_private:
+                    im_acc += n_run
+                    for pid in run_list:
+                        last = ilast[pid]
+                        if last is not None and last != pid:
+                            itrans[pid] += 1
+                        ilast[pid] = pid
+                elif lockstep:
+                    im_acc += 1
+                    if n_run > 1:
+                        im_bc += 1
+                        im_sv += n_run - 1
+                    for pid in run_list:
+                        last = ilast[pid]
+                        if last is not None and last != fb:
+                            itrans[pid] += 1
+                        ilast[pid] = fb
+                else:
+                    im_acc += len(im_map)
+                    for entry in im_map.values():
+                        count = entry[1]
+                        if count > 1:
+                            im_bc += 1
+                            im_sv += count - 1
+                    for pid in run_list:
+                        bank = im_bank[pid]
+                        last = ilast[pid]
+                        if last is not None and last != bank:
+                            itrans[pid] += 1
+                        ilast[pid] = bank
+
+                if dm_count:
+                    dm_del += dm_count
+                    dm_acc += len(dm_map)
+                    for entry in dm_map.values():
+                        count = entry[1]
+                        if count > 1:
+                            dm_bc += 1
+                            dm_sv += count - 1
+
+                halted_any = False
+                for pid in run_list:
+                    core = cores[pid]
+                    rb = dr_bank[pid]
+                    if rb >= 0:
+                        value = dbanks[rb].storage[dr_off[pid]]
+                        dreads += 1
+                        last = dlast[pid]
+                        if last is not None and last != rb:
+                            dtrans[pid] += 1
+                        dlast[pid] = rb
+                    else:
+                        value = None
+                    store = handlers[pid].commit(core, value)
+                    wb = dw_bank[pid]
+                    if wb >= 0:
+                        last = dlast[pid]
+                        if last is not None and last != wb:
+                            dtrans[pid] += 1
+                        dlast[pid] = wb
+                        if store is not None:
+                            dbanks[wb].storage[dw_off[pid]] = \
+                                store[1] & 0xFFFF
+                            dwrites += 1
+                    if core.halted:
+                        core_stats[pid].halted_at = cycle
+                        running.discard(pid)
+                        halted_any = True
+                if halted_any:
+                    run_list = [pid for pid in run_list
+                                if not cores[pid].halted]
+            return cycle, sync_cycles
+        finally:
+            ix = system.ixbar.stats
+            ix.bank_accesses += im_acc
+            ix.deliveries += im_del
+            ix.broadcasts += im_bc
+            ix.broadcast_savings += im_sv
+            transitions = ix.bank_transitions
+            for pid in range(n):
+                if itrans[pid]:
+                    transitions[pid] = transitions.get(pid, 0) + itrans[pid]
+            system.ixbar._last_bank[:] = ilast
+            dx = system.dxbar.stats
+            dx.bank_accesses += dm_acc
+            dx.deliveries += dm_del
+            dx.broadcasts += dm_bc
+            dx.broadcast_savings += dm_sv
+            transitions = dx.bank_transitions
+            for pid in range(n):
+                if dtrans[pid]:
+                    transitions[pid] = transitions.get(pid, 0) + dtrans[pid]
+            system.dxbar._last_bank[:] = dlast
+            for pid in range(n):
+                if mmu_t[pid]:
+                    mmu = system.mmus[pid]
+                    mmu.translations += mmu_t[pid]
+                    mmu.private_accesses += mmu_p[pid]
+                    mmu.shared_accesses += mmu_s[pid]
+            system._dreads_committed += dreads
+            system._dwrites_committed += dwrites

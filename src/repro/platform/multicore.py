@@ -31,12 +31,25 @@ from repro.memory.banked_memory import BankedMemory
 from repro.memory.layout import IMOrganization
 from repro.memory.mmu import MMU
 from repro.platform.config import ArchConfig, build_config
+from repro.platform.fast_forward import FastForwardEngine
 from repro.platform.stats import CoreStats, SimulationStats
 from repro.tamarisc.cpu import Core
+from repro.tamarisc.dispatch import compile_program
 from repro.tamarisc.program import DataImage, Program
 
 #: Instruction words are 24-bit.
 _INSTR_MASK = 0xFFFFFF
+
+#: Process-wide default for ``MultiCoreSystem(..., fast_forward=None)``;
+#: flipped by the CLI's ``--fast-forward`` flag so every experiment
+#: benefits without threading the option through each call site.
+_DEFAULT_FAST_FORWARD = False
+
+
+def set_default_fast_forward(enabled: bool) -> None:
+    """Set the process-wide default for the fast-forward execution mode."""
+    global _DEFAULT_FAST_FORWARD
+    _DEFAULT_FAST_FORWARD = bool(enabled)
 
 
 @dataclass
@@ -76,10 +89,28 @@ class _Attempt:
 
 
 class MultiCoreSystem:
-    """One platform instance: cores, MMUs, crossbars and memories."""
+    """One platform instance: cores, MMUs, crossbars and memories.
 
-    def __init__(self, config: ArchConfig):
+    ``fast_forward`` enables the conflict-free fast-forward execution
+    mode (:mod:`repro.platform.fast_forward`): provably conflict-free
+    cycles are batch-committed through a decode-cached dispatch table,
+    falling back to the exact cycle-stepped loop whenever a potential
+    bank conflict is detected.  Results — architectural state and every
+    :class:`SimulationStats` field — are bit-identical in either mode
+    (the differential suite in ``tests/platform`` enforces this).
+    ``None`` defers to the process default (see
+    :func:`set_default_fast_forward`).
+    """
+
+    def __init__(self, config: ArchConfig | str,
+                 fast_forward: bool | None = None):
+        if isinstance(config, str):
+            config = build_config(config)
         self.config = config
+        if fast_forward is None:
+            fast_forward = _DEFAULT_FAST_FORWARD
+        self.fast_forward = bool(fast_forward)
+        self._ff_engine: FastForwardEngine | None = None
         self.im_layout = config.im_layout()
         self.dm_layout = config.dm_layout()
         self.cores = [Core(pid=i) for i in range(config.n_cores)]
@@ -144,6 +175,8 @@ class MultiCoreSystem:
             mmu.shared_accesses = 0
         self._dreads_committed = 0
         self._dwrites_committed = 0
+        self._ff_engine = FastForwardEngine(self, compile_program(
+            self.decoded)) if self.fast_forward else None
         self.benchmark = benchmark
 
     # -- inspection helpers ----------------------------------------------------------
@@ -179,9 +212,23 @@ class MultiCoreSystem:
         attempts = [_Attempt() for _ in range(n)]
         running = set(range(n))
 
+        engine = self._ff_engine
         cycle = 0
         sync_cycles = 0
         while running:
+            if engine is not None:
+                # The engine needs every running core at an instruction
+                # boundary (no latched partial grants); mid-stall cycles
+                # stay on the exact path below.
+                for pid in running:
+                    if attempts[pid].instr is not None:
+                        break
+                else:
+                    cycle, sync_cycles = engine.advance(
+                        running, attempts, core_stats, cycle, sync_cycles,
+                        max_cycles)
+                    if not running:
+                        break
             if cycle >= max_cycles:
                 raise SimulationError(
                     f"benchmark {self.benchmark.name!r} did not finish "
@@ -307,12 +354,18 @@ class MultiCoreSystem:
         return stats
 
 
-def build_platform(name_or_config, **overrides) -> MultiCoreSystem:
+def build_platform(name_or_config, fast_forward: bool | None = None,
+                   **overrides) -> MultiCoreSystem:
     """Construct a platform by name ("mc-ref", "ulpmc-int", "ulpmc-bank")
     or from an explicit :class:`ArchConfig`."""
     if isinstance(name_or_config, ArchConfig):
         if overrides:
             raise ConfigurationError(
                 "pass overrides with a name, not a config object")
-        return MultiCoreSystem(name_or_config)
-    return MultiCoreSystem(build_config(name_or_config, **overrides))
+        return MultiCoreSystem(name_or_config, fast_forward=fast_forward)
+    return MultiCoreSystem(build_config(name_or_config, **overrides),
+                           fast_forward=fast_forward)
+
+
+#: Alias matching the name used in project documentation.
+MulticoreSimulator = MultiCoreSystem

@@ -65,12 +65,23 @@ class CrossCheckResult:
     sandbox: list[int]
 
 
-def generate_random_program(seed: int, length: int = 40) -> Program:
+#: Register used to stage indirect branch targets (``full_coverage``).
+_BRANCH_REG = 11
+
+
+def generate_random_program(seed: int, length: int = 40,
+                            full_coverage: bool = False) -> Program:
     """A random, safe, terminating TamaRISC program.
 
     Safety is by construction: pointer registers are re-centred into the
     sandbox before every memory access, forward-only conditional branches
     bound execution, and the program ends with ``HLT``.
+
+    ``full_coverage=True`` widens the instruction mix to the complete
+    ISA surface: all three branch target modes (``REL``, ``DIR`` and
+    register-indirect via ``r11``), all 15 condition modes including
+    ``AL``, and memory-to-memory ``MOV``.  The default keeps the
+    historical generator output bit-identical for existing seeds.
     """
     rng = random.Random(seed)
     words: list[int] = []
@@ -90,6 +101,13 @@ def generate_random_program(seed: int, length: int = 40) -> Program:
                          s1val=pointer, s2mode=SrcMode.IMM,
                          s2val=value & 0xF))
 
+    def emit_filler() -> None:
+        # The single skipped instruction after a forward branch.
+        emit(Instruction(op=Op.XOR, dreg=rng.choice(_DATA_REGS),
+                         s1mode=SrcMode.REG,
+                         s1val=rng.choice(_DATA_REGS),
+                         s2mode=SrcMode.IMM, s2val=rng.randrange(16)))
+
     for pointer in _POINTER_REGS:
         recenter(pointer)
     # Keep the index register tiny so [Rn + XR] stays inside the sandbox.
@@ -99,7 +117,23 @@ def generate_random_program(seed: int, length: int = 40) -> Program:
     body = 0
     while body < length:
         choice = rng.random()
-        if choice < 0.72:
+        if full_coverage and choice < 0.10:
+            # Memory-to-memory MOV: a legal single-cycle copy using the
+            # data-read and data-write ports together.
+            emit(Instruction(
+                op=Op.MOV,
+                dmode=rng.choice((DstMode.IND, DstMode.IND_POSTINC,
+                                  DstMode.IND_IDX)),
+                dreg=rng.choice(_POINTER_REGS),
+                s1mode=rng.choice((SrcMode.IND, SrcMode.IND_POSTINC,
+                                   SrcMode.IND_POSTDEC, SrcMode.IND_PREINC,
+                                   SrcMode.IND_PREDEC, SrcMode.IND_IDX)),
+                s1val=rng.choice(_POINTER_REGS)))
+            body += 1
+            if body % 8 == 0:
+                for pointer in _POINTER_REGS:
+                    recenter(pointer)
+        elif choice < 0.72:
             op = rng.choice(sorted(ALU_OPS))
             s1mode = rng.choice(_SRC_MODES)
             s2mode = rng.choice((SrcMode.REG, SrcMode.IMM)) \
@@ -135,27 +169,50 @@ def generate_random_program(seed: int, length: int = 40) -> Program:
                                 s1val=rng.randrange(2048))
             emit(instr)
             body += 1
-        else:
+        elif not full_coverage:
             # Forward-only conditional branch over the next instruction:
             # bounded control flow with every condition mode exercised.
             cond = rng.choice([c for c in Cond if c != Cond.AL])
             emit(Instruction(op=Op.BR, cond=cond, bmode=BranchMode.REL,
                              target=2))
-            emit(Instruction(op=Op.XOR, dreg=rng.choice(_DATA_REGS),
-                             s1mode=SrcMode.REG,
-                             s1val=rng.choice(_DATA_REGS),
-                             s2mode=SrcMode.IMM, s2val=rng.randrange(16)))
+            emit_filler()
+            body += 2
+        else:
+            # Forward-only branch in any target mode, any condition
+            # (including AL).  All targets skip exactly one instruction,
+            # so control flow stays bounded regardless of the flags.
+            cond = rng.choice(tuple(Cond))
+            bmode = rng.choice((BranchMode.REL, BranchMode.DIR,
+                                BranchMode.IND))
+            if bmode == BranchMode.REL:
+                emit(Instruction(op=Op.BR, cond=cond, bmode=bmode,
+                                 target=2))
+            elif bmode == BranchMode.DIR:
+                emit(Instruction(op=Op.BR, cond=cond, bmode=bmode,
+                                 target=len(words) + 2))
+            else:
+                # Stage the absolute target in r11, then branch through
+                # it.  Generated programs stay far below the 11-bit MOV
+                # immediate limit.
+                emit(Instruction(op=Op.MOV, dreg=_BRANCH_REG,
+                                 s1mode=SrcMode.IMM,
+                                 s1val=len(words) + 3))
+                emit(Instruction(op=Op.BR, cond=cond, bmode=bmode,
+                                 target=_BRANCH_REG))
+                body += 1
+            emit_filler()
             body += 2
     emit(Instruction(op=Op.HLT))
     return Program(words=words)
 
 
-def run_on_iss(program: Program, sandbox_seed: int = 0) -> CrossCheckResult:
+def run_on_iss(program: Program, sandbox_seed: int = 0,
+               fast: bool = False) -> CrossCheckResult:
     """Execute on the functional ISS over a seeded sandbox."""
     rng = random.Random(sandbox_seed)
     data = {PRIVATE_BASE + i: rng.randrange(0x10000)
             for i in range(SANDBOX_WORDS)}
-    iss = InstructionSetSimulator(program, data=data)
+    iss = InstructionSetSimulator(program, data=data, fast=fast)
     iss.run(max_cycles=100_000)
     return CrossCheckResult(
         retired=iss.core.retired,
@@ -167,14 +224,15 @@ def run_on_iss(program: Program, sandbox_seed: int = 0) -> CrossCheckResult:
 
 def run_on_platform(program: Program, arch: str = "ulpmc-bank",
                     core: int = 0,
-                    sandbox_seed: int = 0) -> CrossCheckResult:
+                    sandbox_seed: int = 0,
+                    fast_forward: bool = False) -> CrossCheckResult:
     """Execute on the cycle-accurate platform; inspect one core."""
     rng = random.Random(sandbox_seed)
     sandbox = [rng.randrange(0x10000) for __ in range(SANDBOX_WORDS)]
     data = DataImage()
     for pid in range(8):
         data.set_private_block(pid, PRIVATE_BASE, sandbox)
-    system = MultiCoreSystem(build_config(arch))
+    system = MultiCoreSystem(build_config(arch), fast_forward=fast_forward)
     system.run(Benchmark("regression", program, data),
                max_cycles=2_000_000)
     target = system.cores[core]
@@ -188,18 +246,23 @@ def run_on_platform(program: Program, arch: str = "ulpmc-bank",
 
 
 def cross_check(seed: int, length: int = 40,
-                arch: str = "ulpmc-bank") -> CrossCheckResult:
+                arch: str = "ulpmc-bank",
+                full_coverage: bool = False,
+                fast: bool = False) -> CrossCheckResult:
     """Differential run: ISS vs platform must agree exactly.
 
     All eight platform cores run the same program on the same sandbox, so
-    every core is checked against the single ISS execution.  Raises
+    every core is checked against the single ISS execution.  With
+    ``fast=True`` both executors use their dispatch-table fast paths
+    instead of the generic interpreters.  Raises
     :class:`~repro.errors.SimulationError` on the first divergence.
     """
-    program = generate_random_program(seed, length=length)
-    golden = run_on_iss(program, sandbox_seed=seed)
+    program = generate_random_program(seed, length=length,
+                                      full_coverage=full_coverage)
+    golden = run_on_iss(program, sandbox_seed=seed, fast=fast)
     for core in range(8):
         measured = run_on_platform(program, arch=arch, core=core,
-                                   sandbox_seed=seed)
+                                   sandbox_seed=seed, fast_forward=fast)
         for field in ("retired", "registers", "flags", "sandbox"):
             if getattr(measured, field) != getattr(golden, field):
                 raise SimulationError(

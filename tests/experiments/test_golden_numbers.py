@@ -1,0 +1,122 @@
+"""Golden-trace regression tests for the paper-reproduction outputs.
+
+The tolerance-based checks in ``test_experiments.py`` verify we land
+close to the *paper*; these tests pin our own reproduced numbers — Table
+1 area, Table 2 dynamic power and the Fig. 5–8 design points — as JSON
+fixtures, so any simulator or power-model change that silently shifts a
+reproduced quantity fails tier-1 even while staying inside the paper
+tolerances.  This is the safety net that let the fast-forward execution
+mode land: a fast path that drifted any activity statistic would move
+these numbers.
+
+The comparison is exact for strings/integers and uses a tight relative
+tolerance (``REL_TOL``) for floats, leaving room only for
+platform-dependent floating-point rounding.
+
+To regenerate after an *intentional* change::
+
+    PYTHONPATH=src python tests/experiments/test_golden_numbers.py
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import pathlib
+
+import pytest
+
+from repro.experiments import EXPERIMENTS
+
+#: The pinned experiments: paper tables/figures built from simulation.
+GOLDEN_IDS = ("table1", "table2", "fig5", "fig6", "fig7", "fig8")
+
+#: Relative tolerance for float cells; everything else must match exactly.
+REL_TOL = 1e-6
+
+FIXTURE_DIR = pathlib.Path(__file__).resolve().parent.parent / "fixtures"
+
+
+def fixture_path(exp_id: str) -> pathlib.Path:
+    return FIXTURE_DIR / f"golden_{exp_id}.json"
+
+
+def snapshot(exp_id: str) -> dict:
+    """Run one experiment and reduce it to its JSON-serialisable core."""
+    result = EXPERIMENTS[exp_id].run()
+    return {
+        "exp_id": result.exp_id,
+        "title": result.title,
+        "headers": list(result.headers),
+        "rows": [list(row) for row in result.rows],
+        "comparisons": [
+            {"metric": c.metric, "paper": c.paper, "measured": c.measured}
+            for c in result.comparisons
+        ],
+    }
+
+
+def assert_cell_equal(golden, measured, where: str) -> None:
+    if isinstance(golden, float) or isinstance(measured, float):
+        assert math.isclose(float(golden), float(measured),
+                            rel_tol=REL_TOL, abs_tol=1e-12), \
+            f"{where}: golden {golden!r} != measured {measured!r}"
+    else:
+        assert golden == measured, \
+            f"{where}: golden {golden!r} != measured {measured!r}"
+
+
+@pytest.fixture(scope="module", params=GOLDEN_IDS)
+def golden_and_current(request):
+    exp_id = request.param
+    path = fixture_path(exp_id)
+    assert path.is_file(), \
+        f"missing fixture {path}; regenerate with " \
+        "'PYTHONPATH=src python tests/experiments/test_golden_numbers.py'"
+    with path.open(encoding="utf-8") as handle:
+        golden = json.load(handle)
+    return exp_id, golden, snapshot(exp_id)
+
+
+class TestGoldenNumbers:
+    def test_shape_pinned(self, golden_and_current):
+        exp_id, golden, current = golden_and_current
+        assert golden["exp_id"] == current["exp_id"] == exp_id
+        assert golden["headers"] == current["headers"]
+        assert len(golden["rows"]) == len(current["rows"])
+        assert [c["metric"] for c in golden["comparisons"]] \
+            == [c["metric"] for c in current["comparisons"]]
+
+    def test_rows_pinned(self, golden_and_current):
+        exp_id, golden, current = golden_and_current
+        for row_i, (grow, crow) in enumerate(zip(golden["rows"],
+                                                 current["rows"])):
+            assert len(grow) == len(crow), f"{exp_id} row {row_i} width"
+            for col_i, (gcell, ccell) in enumerate(zip(grow, crow)):
+                assert_cell_equal(
+                    gcell, ccell,
+                    f"{exp_id} row {row_i} col {col_i}")
+
+    def test_comparisons_pinned(self, golden_and_current):
+        exp_id, golden, current = golden_and_current
+        for gcomp, ccomp in zip(golden["comparisons"],
+                                current["comparisons"]):
+            where = f"{exp_id} comparison {gcomp['metric']!r}"
+            assert_cell_equal(gcomp["paper"], ccomp["paper"],
+                              where + " (paper)")
+            assert_cell_equal(gcomp["measured"], ccomp["measured"],
+                              where + " (measured)")
+
+
+def regenerate() -> None:
+    FIXTURE_DIR.mkdir(parents=True, exist_ok=True)
+    for exp_id in GOLDEN_IDS:
+        path = fixture_path(exp_id)
+        with path.open("w", encoding="utf-8") as handle:
+            json.dump(snapshot(exp_id), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    regenerate()

@@ -10,6 +10,13 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.tamarisc.isa import (
+    BranchMode,
+    Cond,
+    DstMode,
+    Op,
+    SRC_MEM_MODES,
+)
 from repro.tamarisc.regression import (
     SANDBOX_WORDS,
     cross_check,
@@ -65,3 +72,101 @@ class TestCrossCheck:
         initial = [rng.randrange(0x10000) for __ in range(SANDBOX_WORDS)]
         outcome = run_on_iss(program, sandbox_seed=seed)
         assert outcome.sandbox != initial
+
+
+#: Seeds of the full-ISA random corpus used across the classes below.
+FULL_COVERAGE_SEEDS = range(20)
+
+
+class TestFullCoverageGenerator:
+    """``full_coverage=True`` must reach the complete ISA surface."""
+
+    def test_corpus_covers_full_isa(self):
+        ops, conds, bmodes = set(), set(), set()
+        mem_to_mem = 0
+        for seed in FULL_COVERAGE_SEEDS:
+            program = generate_random_program(seed, length=60,
+                                              full_coverage=True)
+            for instr in program.decoded():
+                ops.add(instr.op)
+                if instr.op == Op.BR:
+                    conds.add(instr.cond)
+                    bmodes.add(instr.bmode)
+                elif instr.op == Op.MOV \
+                        and instr.s1mode in SRC_MEM_MODES \
+                        and instr.dmode != DstMode.REG:
+                    mem_to_mem += 1
+        assert ops == set(Op), "all 11 opcodes"
+        assert conds == set(Cond), "all 15 condition modes"
+        assert bmodes == set(BranchMode), "all 3 branch target modes"
+        assert mem_to_mem > 0, "memory-to-memory MOV exercised"
+
+    def test_default_mode_output_is_stable(self):
+        """The flag must not perturb historical generator output."""
+        program = generate_random_program(0)
+        import hashlib
+        digest = hashlib.sha256(
+            b"".join(word.to_bytes(3, "big")
+                     for word in program.words)).hexdigest()
+        assert digest == ("33ab3c3f460ddd53604b5a6d6511a4d3"
+                          "9150aec2156523c5e3ec84c1892b4bb8")
+
+    @pytest.mark.parametrize("seed", FULL_COVERAGE_SEEDS)
+    def test_programs_terminate(self, seed):
+        program = generate_random_program(seed, length=60,
+                                          full_coverage=True)
+        outcome = run_on_iss(program, sandbox_seed=seed)
+        assert outcome.retired > 20
+
+
+class TestDispatchEquivalence:
+    """ISS and platform dispatch-table fast paths retire identical state
+    to the generic interpreters over the full-ISA corpus."""
+
+    @pytest.mark.parametrize("seed", FULL_COVERAGE_SEEDS)
+    def test_iss_fast_matches_slow(self, seed):
+        program = generate_random_program(seed, length=60,
+                                          full_coverage=True)
+        slow = run_on_iss(program, sandbox_seed=seed)
+        fast = run_on_iss(program, sandbox_seed=seed, fast=True)
+        assert fast.retired == slow.retired
+        assert fast.registers == slow.registers
+        assert fast.flags == slow.flags
+        assert fast.sandbox == slow.sandbox
+
+    @pytest.mark.parametrize("seed", FULL_COVERAGE_SEEDS)
+    def test_iss_fast_stats_match(self, seed):
+        from repro.tamarisc.iss import InstructionSetSimulator
+        import random
+        from repro.memory.layout import PRIVATE_BASE
+        program = generate_random_program(seed, length=60,
+                                          full_coverage=True)
+        rng = random.Random(seed)
+        data = {PRIVATE_BASE + i: rng.randrange(0x10000)
+                for i in range(SANDBOX_WORDS)}
+        slow = InstructionSetSimulator(program, data=dict(data))
+        fast = InstructionSetSimulator(program, data=dict(data), fast=True)
+        assert fast.run() == slow.run()
+        assert fast.dmem == slow.dmem
+
+    @pytest.mark.parametrize("seed", (0, 7, 13))
+    def test_platform_fast_forward_matches_iss(self, seed):
+        cross_check(seed, length=40, full_coverage=True, fast=True)
+
+    @pytest.mark.parametrize("arch", ["mc-ref", "ulpmc-int"])
+    def test_other_architectures_fast(self, arch):
+        cross_check(23, length=40, arch=arch, full_coverage=True,
+                    fast=True)
+
+    def test_single_core_platform_matches_iss(self):
+        """A single-core run through the platform equals the ISS."""
+        program = generate_random_program(42, length=60,
+                                          full_coverage=True)
+        golden = run_on_iss(program, sandbox_seed=42, fast=True)
+        for fast_forward in (False, True):
+            measured = run_on_platform(program, sandbox_seed=42,
+                                       fast_forward=fast_forward)
+            assert measured.registers == golden.registers
+            assert measured.flags == golden.flags
+            assert measured.sandbox == golden.sandbox
+            assert measured.retired == golden.retired
