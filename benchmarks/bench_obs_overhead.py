@@ -1,0 +1,169 @@
+"""Measures the cost of the observability layer on the ECG workload.
+
+Two questions, one per acceptance criterion:
+
+* **Disabled-probe overhead** — how much slower is a run with a probe
+  bus *attached but idle* (no subscribers) than a run with no bus at
+  all?  This is the price every user pays for the instrumentation
+  sites; the budget is <2 % (CI fails the quick run above 5 % to leave
+  headroom for runner noise).
+* **Subscribed cost** (reported, not gated) — the slowdown with the
+  full metrics collector attached, i.e. what ``repro profile`` costs.
+
+Measured on both execution modes of every platform: the fast-forward
+engine amortises its emission checks per stretch, the cycle-stepped
+loop per cycle, so both paths need the guard.
+
+Usable both as a script and under pytest-benchmark collection::
+
+    python benchmarks/bench_obs_overhead.py            # full workload
+    python benchmarks/bench_obs_overhead.py --quick    # CI guard (<5 %)
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+
+_SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:  # direct script invocation
+    sys.path.insert(0, str(_SRC))
+
+from repro.kernels import BenchmarkSpec, build_benchmark
+from repro.obs import ProbeMetrics
+from repro.platform import ARCH_NAMES, build_platform
+
+#: Maximum tolerated attached-but-idle slowdown in the CI quick run.
+#: The design target is 2 %; the gate leaves headroom for shared-runner
+#: timing noise.
+FAIL_THRESHOLD = 0.05
+
+
+#: Minimum duration of one timed sample; short runs are repeated within
+#: the timed region until they reach it, so percentage overheads are not
+#: dominated by scheduler jitter.
+MIN_SAMPLE_S = 0.15
+
+
+def _time_run(built, arch: str, fast_forward: bool, attach_bus: bool,
+              subscribe: bool, inner: int) -> float:
+    system = build_platform(arch, fast_forward=fast_forward)
+    if attach_bus:
+        bus = system.probe_bus()
+        if subscribe:
+            ProbeMetrics.attach(bus)
+    started = time.perf_counter()
+    for _ in range(inner):
+        system.run(built.benchmark)
+    return (time.perf_counter() - started) / inner
+
+
+def measure(built, arch: str, fast_forward: bool, repeats: int) -> dict:
+    """Min-of-stream timing of bare / idle-bus / subscribed runs.
+
+    The three variants are sampled in strict rotation
+    (bare/idle/subscribed, bare/idle/subscribed, ...) so machine-wide
+    throughput drift lands on every stream equally, and each stream is
+    summarised by its *minimum*: scheduler noise and frequency dips only
+    ever add time, so the fastest observed sample is the best estimate
+    of the true cost (the same reasoning as ``timeit``'s ``min``
+    recommendation).  This keeps the overhead ratio stable on shared
+    runners where median-of-stream estimates still swing by several
+    percent under sustained load from neighbours.
+    """
+    calibration = _time_run(built, arch, fast_forward, attach_bus=False,
+                            subscribe=False, inner=1)
+    inner = max(1, round(MIN_SAMPLE_S / max(calibration, 1e-9)))
+    streams = {"bare": [], "idle": [], "subscribed": []}
+    for _ in range(repeats):
+        streams["bare"].append(_time_run(
+            built, arch, fast_forward, attach_bus=False, subscribe=False,
+            inner=inner))
+        streams["idle"].append(_time_run(
+            built, arch, fast_forward, attach_bus=True, subscribe=False,
+            inner=inner))
+        streams["subscribed"].append(_time_run(
+            built, arch, fast_forward, attach_bus=True, subscribe=True,
+            inner=inner))
+    bare = min(streams["bare"])
+    idle = min(streams["idle"])
+    subscribed = min(streams["subscribed"])
+    return {
+        "arch": arch,
+        "mode": "fast-forward" if fast_forward else "exact",
+        "bare_s": bare,
+        "idle_s": idle,
+        "subscribed_s": subscribed,
+        "idle_overhead": idle / bare - 1.0,
+        "subscribed_overhead": subscribed / bare - 1.0,
+    }
+
+
+def report(rows: list[dict]) -> None:
+    print(f"{'arch':<11} {'mode':<13} {'bare [s]':>9} {'idle [s]':>9} "
+          f"{'idle ovh':>9} {'metrics ovh':>12}")
+    for row in rows:
+        print(f"{row['arch']:<11} {row['mode']:<13} {row['bare_s']:>9.3f} "
+              f"{row['idle_s']:>9.3f} {row['idle_overhead']:>8.1%} "
+              f"{row['subscribed_overhead']:>11.1%}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="observability-layer overhead measurement")
+    parser.add_argument("--quick", action="store_true",
+                        help="small-geometry CI guard run")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="timing repeats per configuration")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        spec = BenchmarkSpec(n_samples=64, n_measurements=32,
+                             huffman_private=True)
+        repeats = args.repeats or 9
+    else:
+        spec = BenchmarkSpec(huffman_private=True)
+        repeats = args.repeats or 5
+    built = build_benchmark(spec)
+
+    rows = [measure(built, arch, fast_forward, repeats)
+            for arch in ARCH_NAMES for fast_forward in (False, True)]
+
+    # A cell over budget on a noisy runner gets one clean re-measurement
+    # with doubled repeats before the verdict: failing CI then requires
+    # two independent bad measurements of the same configuration.
+    for index, row in enumerate(rows):
+        if row["idle_overhead"] > FAIL_THRESHOLD:
+            print(f"re-measuring {row['arch']} ({row['mode']}): first pass "
+                  f"read {row['idle_overhead']:.1%}", file=sys.stderr)
+            rows[index] = measure(
+                built, row["arch"], row["mode"] == "fast-forward",
+                repeats * 2)
+    report(rows)
+
+    worst = max(rows, key=lambda row: row["idle_overhead"])
+    try:
+        from repro.obs import manifest_record, write_manifest
+        write_manifest(manifest_record(
+            "benchmark", "bench_obs_overhead",
+            payload=rows,
+            extra={"quick": args.quick,
+                   "worst_idle_overhead": worst["idle_overhead"]}))
+    except OSError:
+        pass  # read-only checkout: the measurement still stands
+
+    if worst["idle_overhead"] > FAIL_THRESHOLD:
+        print(f"FAIL: idle-bus overhead {worst['idle_overhead']:.1%} on "
+              f"{worst['arch']} ({worst['mode']}) exceeds the "
+              f"{FAIL_THRESHOLD:.0%} budget", file=sys.stderr)
+        return 1
+    print(f"OK: worst idle-bus overhead {worst['idle_overhead']:.1%} "
+          f"({worst['arch']}, {worst['mode']}) within the "
+          f"{FAIL_THRESHOLD:.0%} budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

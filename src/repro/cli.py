@@ -1,7 +1,17 @@
-"""Command-line driver: ``repro-experiment <id ...|all> [--csv]``.
+"""Command-line driver.
 
-Prints the reproduced table/figure data and the paper-vs-measured
-comparisons for each requested experiment.
+Three subcommands, all writing run-manifest provenance to ``runs/``:
+
+* ``repro experiment <id ...|all> [--csv]`` — reproduce the paper's
+  tables/figures (the historical ``repro-experiment`` interface; the
+  subcommand word is optional, so ``repro-experiment table1`` still
+  works).
+* ``repro trace`` — run the ECG benchmark with the Perfetto trace
+  recorder attached and write a Chrome-trace JSON per architecture
+  (open it in https://ui.perfetto.dev).
+* ``repro profile`` — run with the metrics collector attached, print
+  the registry (sync-group-size and conflict-burst histograms included)
+  and cross-check the probe counters against ``SimulationStats``.
 """
 
 from __future__ import annotations
@@ -9,11 +19,44 @@ from __future__ import annotations
 import argparse
 import pathlib
 import sys
+import time
 
 from repro.experiments import EXPERIMENTS
 
+_ARCH_CHOICES = ("mc-ref", "ulpmc-int", "ulpmc-bank", "all")
 
-def main(argv=None) -> int:
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--arch", choices=_ARCH_CHOICES, default="all",
+                        help="platform to run (default: all three)")
+    parser.add_argument("--samples", type=int, default=512,
+                        help="ECG block length (paper geometry: 512)")
+    parser.add_argument("--measurements", type=int, default=256,
+                        help="compressed measurements per block")
+    parser.add_argument(
+        "--fast-forward", action="store_true",
+        help="batch-commit provably conflict-free simulator cycles "
+             "(bit-identical results, several times faster)")
+    parser.add_argument("--runs-dir", metavar="DIR", default="runs",
+                        help="run-manifest directory (default: runs/)")
+    parser.add_argument("--no-manifest", action="store_true",
+                        help="skip writing the run manifest")
+
+
+def _arches(name: str) -> list[str]:
+    from repro.platform import ARCH_NAMES
+    return list(ARCH_NAMES) if name == "all" else [name]
+
+
+def _built_benchmark(args):
+    from repro.kernels import BenchmarkSpec, build_benchmark
+    spec = BenchmarkSpec(n_samples=args.samples,
+                         n_measurements=args.measurements,
+                         huffman_private=True)
+    return build_benchmark(spec)
+
+
+def cmd_experiment(argv) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-experiment",
         description="Reproduce tables/figures of Dogan et al., DATE 2012.")
@@ -28,6 +71,10 @@ def main(argv=None) -> int:
         "--fast-forward", action="store_true",
         help="batch-commit provably conflict-free simulator cycles "
              "(bit-identical results, several times faster)")
+    parser.add_argument("--runs-dir", metavar="DIR", default="runs",
+                        help="run-manifest directory (default: runs/)")
+    parser.add_argument("--no-manifest", action="store_true",
+                        help="skip writing the run manifest")
     args = parser.parse_args(argv)
 
     if args.fast_forward:
@@ -46,13 +93,127 @@ def main(argv=None) -> int:
         output_dir.mkdir(parents=True, exist_ok=True)
 
     for name in requested:
+        started = time.perf_counter()
         result = EXPERIMENTS[name].run()
+        wall = time.perf_counter() - started
         print(result.to_csv() if args.csv else result.to_text())
         print()
         if output_dir is not None:
             path = output_dir / f"{name}.csv"
             path.write_text(result.to_csv() + "\n", encoding="utf-8")
+        if not args.no_manifest:
+            from repro.obs import manifest_record, write_manifest
+            write_manifest(manifest_record(
+                "experiment", name, payload=result.to_csv(),
+                wall_time_s=wall,
+                extra={"fast_forward": args.fast_forward,
+                       "max_relative_error": result.max_relative_error()},
+            ), directory=args.runs_dir)
     return 0
+
+
+def cmd_trace(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro trace",
+        description="Run the ECG benchmark with the Perfetto trace "
+                    "recorder attached; the JSON opens in ui.perfetto.dev.")
+    _add_common(parser)
+    parser.add_argument("--out-dir", metavar="DIR", default="runs",
+                        help="directory for trace-<arch>.json "
+                             "(default: runs/)")
+    args = parser.parse_args(argv)
+
+    from repro.kernels import verify_result
+    from repro.obs import (ProbeMetrics, TraceRecorder, manifest_record,
+                           write_manifest)
+    from repro.platform import build_platform
+
+    built = _built_benchmark(args)
+    for arch in _arches(args.arch):
+        started = time.perf_counter()
+        system = build_platform(arch, fast_forward=args.fast_forward)
+        recorder = TraceRecorder.attach(system)
+        metrics = ProbeMetrics.attach(system.probe_bus())
+        result = system.run(built.benchmark)
+        verify_result(built, result)
+        wall = time.perf_counter() - started
+        mismatches = metrics.verify_against(result.stats)
+        if mismatches:
+            print(f"{arch}: probe/stats mismatch: {mismatches}",
+                  file=sys.stderr)
+            return 1
+        path = recorder.save(
+            pathlib.Path(args.out_dir) / f"trace-{arch}.json")
+        print(f"{arch}: {result.stats.total_cycles} cycles, "
+              f"{len(recorder.slices)} slices, "
+              f"{len(recorder.ff_spans)} fast-forward spans -> {path}")
+        if not args.no_manifest:
+            write_manifest(manifest_record(
+                "trace", built.benchmark.name, arch=arch,
+                config=system.config, stats=result.stats,
+                event_summary=metrics.registry.snapshot(),
+                wall_time_s=wall,
+                extra={"trace_file": str(path),
+                       "fast_forward": args.fast_forward},
+            ), directory=args.runs_dir)
+    return 0
+
+
+def cmd_profile(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro profile",
+        description="Run the ECG benchmark with the metrics registry "
+                    "attached and print counters and histograms.")
+    _add_common(parser)
+    args = parser.parse_args(argv)
+
+    from repro.kernels import verify_result
+    from repro.obs import ProbeMetrics, manifest_record, write_manifest
+    from repro.platform import build_platform
+
+    built = _built_benchmark(args)
+    for arch in _arches(args.arch):
+        started = time.perf_counter()
+        system = build_platform(arch, fast_forward=args.fast_forward)
+        metrics = ProbeMetrics.attach(system.probe_bus())
+        result = system.run(built.benchmark)
+        verify_result(built, result)
+        wall = time.perf_counter() - started
+        registry = metrics.finish()
+        registry.update_from_stats(result.stats)
+        mismatches = metrics.verify_against(result.stats)
+        print(f"== {arch} ({'fast-forward' if args.fast_forward else 'exact'}"
+              f", {wall:.2f} s) ==")
+        print(registry.render())
+        if mismatches:
+            print(f"probe/stats RECONCILIATION FAILED: {mismatches}",
+                  file=sys.stderr)
+            return 1
+        print("probe/stats reconciliation ok")
+        print()
+        if not args.no_manifest:
+            write_manifest(manifest_record(
+                "profile", built.benchmark.name, arch=arch,
+                config=system.config, stats=result.stats,
+                event_summary=registry.snapshot(), wall_time_s=wall,
+                extra={"fast_forward": args.fast_forward},
+            ), directory=args.runs_dir)
+    return 0
+
+
+_SUBCOMMANDS = {
+    "experiment": cmd_experiment,
+    "trace": cmd_trace,
+    "profile": cmd_profile,
+}
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] in _SUBCOMMANDS:
+        return _SUBCOMMANDS[argv[0]](argv[1:])
+    # Historical interface: bare experiment ids (repro-experiment table1).
+    return cmd_experiment(argv)
 
 
 if __name__ == "__main__":

@@ -87,6 +87,13 @@ class Crossbar:
         self.arbiters = [RoundRobinArbiter(masters) for _ in range(banks)]
         self.stats = XbarStats()
         self._last_bank = [None] * masters
+        #: Observability hooks, wired by the platform's run loop while a
+        #: probe subscriber is attached (``None`` otherwise; the checks
+        #: sit on the rare conflict/broadcast paths, not per request).
+        #: ``probe_conflict(bank, masters)`` fires per conflicting
+        #: bank-cycle, ``probe_broadcast(bank, width)`` per >=2-way merge.
+        self.probe_conflict = None
+        self.probe_broadcast = None
 
     def arbitrate(self, requests: list[Request]) -> set[tuple[int, bool]]:
         """Arbitrate one cycle of requests.
@@ -125,6 +132,8 @@ class Crossbar:
             if len(winners) > 1:
                 stats.broadcasts += 1
                 stats.broadcast_savings += len(winners) - 1
+                if self.probe_broadcast is not None:
+                    self.probe_broadcast(bank, len(winners))
             stats.stalls += len(bank_requests) - len(winners)
         return granted
 
@@ -143,6 +152,9 @@ class Crossbar:
         if len(groups) == 1:
             return bank_requests
         self.stats.conflict_events += 1
+        if self.probe_conflict is not None:
+            self.probe_conflict(
+                bank, sorted({request.master for request in bank_requests}))
         winner = self.arbiters[bank].grant(
             {request.master for request in bank_requests})
         # The winning master may have both a read and a write here; serve

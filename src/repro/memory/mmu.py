@@ -27,15 +27,23 @@ class MMU:
         self.translations = 0
         self.private_accesses = 0
         self.shared_accesses = 0
+        #: Observability hook (``probe(pid, logical, bank, offset,
+        #: private)``), wired by the platform's run loop while a
+        #: ``mmu.translate`` subscriber is attached; ``None`` otherwise.
+        self.probe = None
 
     def translate(self, logical: int) -> tuple[int, int]:
         """Physical (bank, offset) for ``logical``; counts the access mix."""
         self.translations += 1
-        if self.layout.is_private(logical):
+        private = self.layout.is_private(logical)
+        if private:
             self.private_accesses += 1
         else:
             self.shared_accesses += 1
-        return self.layout.translate(self.pid, logical)
+        bank, offset = self.layout.translate(self.pid, logical)
+        if self.probe is not None:
+            self.probe(self.pid, logical, bank, offset, private)
+        return bank, offset
 
     def translate_quiet(self, logical: int) -> tuple[int, int]:
         """Translate without statistics (used by loaders and inspectors)."""

@@ -1,0 +1,64 @@
+"""Platform-wide observability: probe bus, metrics, traces, manifests.
+
+The paper's methodology (Fig. 4) feeds *trace files* from the routed
+design into power analysis; this package is the simulator's equivalent
+measurement substrate.  It has four layers, each usable on its own:
+
+* :mod:`repro.obs.probes` — a lightweight **probe bus** of named event
+  hooks (``core.retire``, ``ixbar.conflict``, ``ff.enter`` ...) emitted
+  by the platform simulator, the fast-forward engine and the streaming
+  driver.  With no subscriber attached the emission sites compile down
+  to a handful of pre-hoisted boolean checks (<2 % overhead, enforced by
+  ``benchmarks/bench_obs_overhead.py``).
+* :mod:`repro.obs.metrics` — a **metrics registry** of counters, gauges
+  and histograms, plus :class:`~repro.obs.metrics.ProbeMetrics`, a bus
+  subscriber that derives conflict-burst-length and sync-group-size
+  histograms and reconciles its counters against
+  :class:`~repro.platform.stats.SimulationStats`.
+* :mod:`repro.obs.perfetto` — **Chrome trace-event / Perfetto JSON
+  export**: one track per core (run/stall/halted slices), per-IM-bank
+  power-gate state and fast-forward spans; the file opens directly in
+  ``ui.perfetto.dev``.
+* :mod:`repro.obs.manifest` — **run manifests**: append-only JSONL
+  records (config hash, git revision, stats digest, wall time, event
+  summary) written to ``runs/`` by the CLI and the benchmarks, giving
+  every reported number a provenance trail.
+
+Nothing in this package imports :mod:`repro.platform`, so the platform
+modules can import the probe bus without cycles.
+"""
+
+from repro.obs.manifest import (
+    config_digest,
+    git_revision,
+    manifest_record,
+    read_manifests,
+    stats_digest,
+    write_manifest,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    ProbeMetrics,
+)
+from repro.obs.perfetto import TraceRecorder
+from repro.obs.probes import EVENTS, ProbeBus
+
+__all__ = [
+    "EVENTS",
+    "ProbeBus",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ProbeMetrics",
+    "TraceRecorder",
+    "config_digest",
+    "git_revision",
+    "manifest_record",
+    "read_manifests",
+    "stats_digest",
+    "write_manifest",
+]

@@ -1,0 +1,151 @@
+"""Run manifests: an append-only JSONL provenance trail under ``runs/``.
+
+Every CLI invocation and benchmark appends one JSON record per run to
+``runs/manifest.jsonl``: what ran (kind, name, architecture), against
+which code (git revision) and configuration (stable config hash), what
+came out (a digest of the full ``SimulationStats``/CSV payload, plus a
+compact summary), and how long it took.  Two runs with equal
+``config_hash`` and ``git_rev`` but different ``stats_digest`` are a
+reproducibility bug; equal digests let CI artifacts and local reruns be
+compared without shipping the full outputs around.
+
+Record schema (all fields always present, ``null`` when inapplicable)::
+
+    {
+      "kind":          "experiment" | "trace" | "profile" | "benchmark",
+      "name":          str,            # experiment id / benchmark name
+      "arch":          str | null,     # platform name
+      "config":        object | null,  # full ArchConfig dump
+      "config_hash":   str | null,     # sha256 over the canonical config
+      "git_rev":       str,            # HEAD revision or "unknown"
+      "stats_digest":  str | null,     # sha256 over the canonical payload
+      "stats_summary": object | null,  # small human-scannable excerpt
+      "event_summary": object | null,  # probe/metric counts, if observed
+      "wall_time_s":   float | null,
+      "created":       float,          # unix timestamp
+      "extra":         object          # free-form
+    }
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import pathlib
+import subprocess
+import time
+
+#: Default manifest location, relative to the current working directory.
+DEFAULT_DIRECTORY = "runs"
+MANIFEST_NAME = "manifest.jsonl"
+
+
+def _canonical(obj):
+    """Reduce ``obj`` to JSON-serialisable primitives, deterministically."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {f.name: _canonical(getattr(obj, f.name))
+                for f in dataclasses.fields(obj)}
+    if isinstance(obj, enum.Enum):
+        return str(obj)
+    if isinstance(obj, dict):
+        return {str(key): _canonical(value)
+                for key, value in sorted(obj.items(), key=lambda kv:
+                                         str(kv[0]))}
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(value) for value in obj]
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    return repr(obj)
+
+
+def _digest(obj) -> str:
+    payload = json.dumps(_canonical(obj), sort_keys=True,
+                         separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def config_digest(config) -> str:
+    """Stable sha256 over an :class:`ArchConfig` (or any dataclass/dict)."""
+    return _digest(config)
+
+
+def stats_digest(stats) -> str:
+    """Stable sha256 over a full :class:`SimulationStats` (or payload)."""
+    return _digest(stats)
+
+
+def git_revision(cwd=None) -> str:
+    """Best-effort ``HEAD`` revision; ``"unknown"`` outside a checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"], cwd=cwd, capture_output=True,
+            text=True, timeout=5)
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else "unknown"
+
+
+def manifest_record(kind: str, name: str, *, arch=None, config=None,
+                    stats=None, payload=None, event_summary=None,
+                    wall_time_s=None, extra=None) -> dict:
+    """Build one manifest record.
+
+    ``stats`` (a ``SimulationStats``) contributes both the digest and a
+    compact summary; ``payload`` digests arbitrary output (e.g. an
+    experiment's CSV) when there is no single stats object.
+    """
+    digest = None
+    summary = None
+    if stats is not None:
+        digest = stats_digest(stats)
+        summary = {
+            "total_cycles": stats.total_cycles,
+            "total_retired": stats.total_retired,
+            "total_stall_cycles": stats.total_stall_cycles,
+            "im_bank_accesses": stats.im_bank_accesses,
+            "dm_bank_accesses": stats.dm_bank_accesses,
+            "sync_cycles": stats.sync_cycles,
+        }
+    elif payload is not None:
+        digest = _digest(payload)
+    return {
+        "kind": kind,
+        "name": name,
+        "arch": arch,
+        "config": _canonical(config) if config is not None else None,
+        "config_hash": config_digest(config) if config is not None else None,
+        "git_rev": git_revision(),
+        "stats_digest": digest,
+        "stats_summary": summary,
+        "event_summary": _canonical(event_summary)
+        if event_summary is not None else None,
+        "wall_time_s": wall_time_s,
+        "created": time.time(),
+        "extra": _canonical(extra) if extra is not None else {},
+    }
+
+
+def write_manifest(record: dict, directory=None) -> pathlib.Path:
+    """Append ``record`` as one JSONL line; returns the manifest path."""
+    directory = pathlib.Path(directory if directory is not None
+                             else DEFAULT_DIRECTORY)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / MANIFEST_NAME
+    with path.open("a", encoding="utf-8") as stream:
+        stream.write(json.dumps(_canonical(record), sort_keys=True))
+        stream.write("\n")
+    return path
+
+
+def read_manifests(directory=None) -> list[dict]:
+    """All records in a manifest file (empty list if absent)."""
+    directory = pathlib.Path(directory if directory is not None
+                             else DEFAULT_DIRECTORY)
+    path = directory / MANIFEST_NAME
+    if not path.is_file():
+        return []
+    return [json.loads(line) for line
+            in path.read_text(encoding="utf-8").splitlines() if line.strip()]

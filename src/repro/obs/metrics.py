@@ -1,0 +1,375 @@
+"""Metrics registry: counters, gauges and histograms over probe events.
+
+:class:`MetricsRegistry` is a small name-spaced store of metric
+primitives.  :class:`ProbeMetrics` subscribes a registry to a
+:class:`~repro.obs.probes.ProbeBus` and derives the quantities the
+aggregate :class:`~repro.platform.stats.SimulationStats` cannot express:
+
+* ``sync_group_size`` — per-cycle number of distinct PCs among active
+  cores (1 = full lockstep, the precondition for instruction broadcast);
+* ``conflict_burst_length`` — lengths of runs of consecutive cycles that
+  contained at least one crossbar conflict (clustered conflicts starve
+  the same cores repeatedly; uniformly sprinkled ones are benign);
+* ``im_broadcast_width`` / ``dm_broadcast_width`` — how many cores each
+  broadcast actually served.
+
+The registry *subsumes* ``SimulationStats``:
+:meth:`MetricsRegistry.update_from_stats` imports every scalar field as
+a counter, and :meth:`ProbeMetrics.verify_against` cross-checks the
+probe-derived counters against the simulator's own accounting — the
+reconciliation the test-suite and ``repro profile`` rely on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Counter:
+    """Monotonically increasing count."""
+
+    name: str
+    help: str = ""
+    value: int = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """Last-written value."""
+
+    name: str
+    help: str = ""
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+@dataclass
+class Histogram:
+    """Exact integer-valued histogram (one bucket per observed value)."""
+
+    name: str
+    help: str = ""
+    counts: dict = field(default_factory=dict)
+
+    def observe(self, value: int, weight: int = 1) -> None:
+        self.counts[value] = self.counts.get(value, 0) + weight
+
+    @property
+    def count(self) -> int:
+        return sum(self.counts.values())
+
+    @property
+    def total(self) -> int:
+        return sum(value * count for value, count in self.counts.items())
+
+    @property
+    def mean(self) -> float:
+        count = self.count
+        return self.total / count if count else 0.0
+
+    @property
+    def min(self):
+        return min(self.counts) if self.counts else None
+
+    @property
+    def max(self):
+        return max(self.counts) if self.counts else None
+
+    def percentile(self, fraction: float):
+        """Smallest observed value covering ``fraction`` of observations."""
+        count = self.count
+        if not count:
+            return None
+        threshold = fraction * count
+        seen = 0
+        for value in sorted(self.counts):
+            seen += self.counts[value]
+            if seen >= threshold:
+                return value
+        return max(self.counts)
+
+    def buckets(self) -> list[tuple[int, int]]:
+        return sorted(self.counts.items())
+
+
+class MetricsRegistry:
+    """Get-or-create store of named metrics."""
+
+    def __init__(self):
+        self._metrics: dict[str, object] = {}
+
+    def _get_or_create(self, name: str, cls, help: str):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name=name, help=help)
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(metric).__name__}, not {cls.__name__}")
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(name, Counter, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(name, Gauge, help)
+
+    def histogram(self, name: str, help: str = "") -> Histogram:
+        return self._get_or_create(name, Histogram, help)
+
+    def get(self, name: str):
+        return self._metrics[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def names(self) -> list[str]:
+        return list(self._metrics)
+
+    def update_from_stats(self, stats, prefix: str = "sim.") -> None:
+        """Import every scalar ``SimulationStats`` field as a counter.
+
+        Derived totals (``total_retired``, ``total_stall_cycles``) come
+        in too, so the registry alone carries everything the power model
+        reads from the stats object.
+        """
+        for f in dataclasses.fields(stats):
+            value = getattr(stats, f.name)
+            if isinstance(value, int):
+                counter = self.counter(prefix + f.name)
+                counter.value = value
+        self.counter(prefix + "total_retired").value = stats.total_retired
+        self.counter(prefix + "total_stall_cycles").value = \
+            stats.total_stall_cycles
+
+    def snapshot(self) -> dict:
+        """JSON-friendly dump: name -> value (histograms -> summary)."""
+        out = {}
+        for name, metric in self._metrics.items():
+            if isinstance(metric, Histogram):
+                out[name] = {
+                    "count": metric.count,
+                    "total": metric.total,
+                    "mean": metric.mean,
+                    "min": metric.min,
+                    "max": metric.max,
+                    "buckets": {str(value): count
+                                for value, count in metric.buckets()},
+                }
+            else:
+                out[name] = metric.value
+        return out
+
+    def render(self) -> str:
+        """Human-readable multi-line dump, histograms as bucket bars."""
+        lines = []
+        scalars = [(name, metric) for name, metric in self._metrics.items()
+                   if not isinstance(metric, Histogram)]
+        histograms = [(name, metric) for name, metric
+                      in self._metrics.items()
+                      if isinstance(metric, Histogram)]
+        if scalars:
+            width = max(len(name) for name, _ in scalars)
+            for name, metric in scalars:
+                lines.append(f"{name:<{width}} : {metric.value}")
+        for name, metric in histograms:
+            lines.append(f"{name} (n={metric.count}, mean={metric.mean:.2f},"
+                         f" max={metric.max}):")
+            peak = max(metric.counts.values()) if metric.counts else 1
+            for value, count in metric.buckets():
+                bar = "#" * max(1, round(40 * count / peak))
+                lines.append(f"  {value:>6} | {count:>8} {bar}")
+        return "\n".join(lines)
+
+
+class ProbeMetrics:
+    """Bus subscriber deriving histograms and cross-checkable counters.
+
+    Subscribe with :meth:`attach` (or construct and call
+    :meth:`subscribe`), run the workload, then call :meth:`finish` to
+    flush the trailing cycle/burst before reading the registry.
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None):
+        self.registry = registry if registry is not None \
+            else MetricsRegistry()
+        reg = self.registry
+        self.retired = reg.counter(
+            "probe.retired", "core.retire events observed")
+        self.stalls = reg.counter(
+            "probe.stall_cycles", "core.stall events observed")
+        self.ixbar_conflicts = reg.counter(
+            "probe.ixbar_conflicts", "I-Xbar bank-cycles with a conflict")
+        self.dxbar_conflicts = reg.counter(
+            "probe.dxbar_conflicts", "D-Xbar bank-cycles with a conflict")
+        self.im_broadcasts = reg.counter(
+            "probe.im_broadcasts", "IM accesses serving >= 2 cores")
+        self.dm_broadcasts = reg.counter(
+            "probe.dm_broadcasts", "DM accesses serving >= 2 cores")
+        self.mmu_private = reg.counter(
+            "probe.mmu_private", "private-window translations")
+        self.mmu_shared = reg.counter(
+            "probe.mmu_shared", "shared-window translations")
+        self.ff_stretches = reg.counter(
+            "probe.ff_stretches", "fast-forward stretches (>= 1 cycle)")
+        self.ff_cycles = reg.counter(
+            "probe.ff_cycles", "cycles batch-committed by fast-forward")
+        self.blocks = reg.counter(
+            "probe.blocks_done", "streamed blocks completed")
+        self.sync_groups = reg.histogram(
+            "sync_group_size",
+            "per-cycle distinct PCs among active cores (1 = lockstep)")
+        self.conflict_bursts = reg.histogram(
+            "conflict_burst_length",
+            "lengths of consecutive-cycle conflict runs")
+        self.im_bc_width = reg.histogram(
+            "im_broadcast_width", "cores served per IM broadcast")
+        self.dm_bc_width = reg.histogram(
+            "dm_broadcast_width", "cores served per DM broadcast")
+        # per-cycle reduction state
+        self._cycle = None
+        self._cycle_pcs: set[int] = set()
+        self._burst_last = None
+        self._burst_len = 0
+        self._bus = None
+
+    # -- wiring ------------------------------------------------------------
+
+    @classmethod
+    def attach(cls, bus, registry: MetricsRegistry | None = None) \
+            -> "ProbeMetrics":
+        collector = cls(registry)
+        collector.subscribe(bus)
+        return collector
+
+    def subscribe(self, bus) -> None:
+        self._bus = bus
+        self._handlers = {
+            "core.retire": self._on_retire,
+            "core.stall": self._on_stall,
+            "ixbar.conflict": self._on_ixbar_conflict,
+            "dxbar.conflict": self._on_dxbar_conflict,
+            "im.broadcast": self._on_im_broadcast,
+            "dm.broadcast": self._on_dm_broadcast,
+            "mmu.translate": self._on_translate,
+            "ff.exit": self._on_ff_exit,
+            "block.done": self._on_block,
+        }
+        for event, handler in self._handlers.items():
+            bus.subscribe(event, handler)
+
+    def detach(self) -> None:
+        if self._bus is not None:
+            for event, handler in self._handlers.items():
+                self._bus.unsubscribe(event, handler)
+            self._bus = None
+
+    def finish(self) -> MetricsRegistry:
+        """Flush the trailing cycle group and conflict burst."""
+        if self._cycle is not None:
+            self.sync_groups.observe(len(self._cycle_pcs))
+            self._cycle = None
+            self._cycle_pcs = set()
+        if self._burst_len:
+            self.conflict_bursts.observe(self._burst_len)
+            self._burst_last = None
+            self._burst_len = 0
+        return self.registry
+
+    # -- handlers ----------------------------------------------------------
+
+    def _on_active(self, cycle, pc) -> None:
+        if cycle != self._cycle:
+            if self._cycle is not None:
+                self.sync_groups.observe(len(self._cycle_pcs))
+            self._cycle = cycle
+            self._cycle_pcs = {pc}
+        else:
+            self._cycle_pcs.add(pc)
+
+    def _on_retire(self, cycle, pid, pc) -> None:
+        self.retired.inc()
+        self._on_active(cycle, pc)
+
+    def _on_stall(self, cycle, pid, pc) -> None:
+        self.stalls.inc()
+        self._on_active(cycle, pc)
+
+    def _on_conflict(self, cycle) -> None:
+        last = self._burst_last
+        if last == cycle:
+            return  # several banks conflicting in one cycle: one burst cycle
+        if last is not None and cycle == last + 1:
+            self._burst_len += 1
+        else:
+            if self._burst_len:
+                self.conflict_bursts.observe(self._burst_len)
+            self._burst_len = 1
+        self._burst_last = cycle
+
+    def _on_ixbar_conflict(self, cycle, bank, masters) -> None:
+        self.ixbar_conflicts.inc()
+        self._on_conflict(cycle)
+
+    def _on_dxbar_conflict(self, cycle, bank, masters) -> None:
+        self.dxbar_conflicts.inc()
+        self._on_conflict(cycle)
+
+    def _on_im_broadcast(self, cycle, bank, width) -> None:
+        self.im_broadcasts.inc()
+        self.im_bc_width.observe(width)
+
+    def _on_dm_broadcast(self, cycle, bank, width) -> None:
+        self.dm_broadcasts.inc()
+        self.dm_bc_width.observe(width)
+
+    def _on_translate(self, cycle, pid, logical, bank, offset,
+                      private) -> None:
+        (self.mmu_private if private else self.mmu_shared).inc()
+
+    def _on_ff_exit(self, cycle, fast_cycles) -> None:
+        if fast_cycles:
+            self.ff_stretches.inc()
+            self.ff_cycles.inc(fast_cycles)
+
+    def _on_block(self, index, stats) -> None:
+        self.blocks.inc()
+
+    # -- reconciliation ----------------------------------------------------
+
+    def verify_against(self, stats) -> list[tuple[str, int, int]]:
+        """Cross-check probe counters against ``SimulationStats``.
+
+        Returns the list of ``(name, probe_value, stats_value)``
+        mismatches — empty when the probe stream and the simulator's own
+        accounting agree (the differential suite asserts this in both
+        execution modes).
+        """
+        self.finish()
+        checks = [
+            ("retired", self.retired.value, stats.total_retired),
+            ("stall_cycles", self.stalls.value, stats.total_stall_cycles),
+            ("ixbar_conflicts", self.ixbar_conflicts.value,
+             stats.im_conflict_events),
+            ("dxbar_conflicts", self.dxbar_conflicts.value,
+             stats.dm_conflict_events),
+            ("im_broadcasts", self.im_broadcasts.value, stats.im_broadcasts),
+            ("dm_broadcasts", self.dm_broadcasts.value, stats.dm_broadcasts),
+            ("im_broadcast_savings", self.im_bc_width.total
+             - self.im_bc_width.count, stats.im_broadcast_savings),
+            ("dm_broadcast_savings", self.dm_bc_width.total
+             - self.dm_bc_width.count, stats.dm_broadcast_savings),
+            ("mmu_private", self.mmu_private.value,
+             stats.dm_private_accesses),
+            ("mmu_shared", self.mmu_shared.value, stats.dm_shared_accesses),
+        ]
+        return [(name, probe, reference) for name, probe, reference in checks
+                if probe != reference]

@@ -1,0 +1,207 @@
+"""Chrome trace-event / Perfetto JSON export of a simulated run.
+
+:class:`TraceRecorder` subscribes to a :class:`~repro.obs.probes.ProbeBus`
+and coalesces the per-cycle ``core.retire``/``core.stall`` events into
+*slices* — maximal stretches of consecutive cycles in which a core stayed
+in one state.  :meth:`TraceRecorder.to_perfetto` lays them out in the
+Chrome trace-event JSON format (one "thread" track per core, one
+"process" per subsystem), which ``ui.perfetto.dev`` and
+``chrome://tracing`` open directly.  One simulated cycle is rendered as
+one microsecond (``ts``/``dur`` are in µs in the trace-event format).
+
+Tracks:
+
+* process ``cores`` — per-core ``run``/``stall`` slices, plus a closing
+  ``halted`` slice from the core's ``HLT`` to the end of the run.
+* process ``fast-forward`` — one slice per batch-committed stretch of
+  the fast-forward engine (absent in pure cycle-stepped runs).
+* process ``IM banks`` — one full-length ``gated``/``active`` slice per
+  instruction-memory bank (the power-gate state is fixed at load time).
+
+Exactness: the summed ``run`` slice durations per core equal that core's
+``retired`` instruction count, and ``stall`` durations its
+``stall_cycles``, in both execution modes — the schema test in
+``tests/obs`` asserts this against :class:`SimulationStats`.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+
+class TraceRecorder:
+    """Records per-core activity slices and fast-forward spans."""
+
+    def __init__(self, n_cores: int, arch: str = ""):
+        self.n_cores = n_cores
+        self.arch = arch
+        #: closed slices: (core, state, start_cycle, n_cycles)
+        self.slices: list[tuple[int, str, int, int]] = []
+        #: fast-forward stretches: (start_cycle, n_cycles)
+        self.ff_spans: list[tuple[int, int]] = []
+        self._open: dict[int, list] = {}  # core -> [state, start, length]
+        self._gated_banks: set[int] = set()
+        self._im_banks = 0
+        self._bus = None
+        self._system = None
+
+    # -- wiring ------------------------------------------------------------
+
+    @classmethod
+    def attach(cls, system) -> "TraceRecorder":
+        """Create a recorder wired to ``system``'s probe bus.
+
+        The IM power-gate state (static once a benchmark is loaded) is
+        snapshotted from the system at :meth:`finish` time.  Call
+        :meth:`detach` (or just let the recorder be garbage-collected
+        with the system) when done.
+        """
+        recorder = cls(n_cores=system.config.n_cores,
+                       arch=system.config.name)
+        recorder._system = system
+        recorder._im_banks = system.config.im_banks
+        recorder.subscribe(system.probe_bus())
+        return recorder
+
+    def subscribe(self, bus) -> None:
+        self._bus = bus
+        self._handlers = {
+            "core.retire": self._on_retire,
+            "core.stall": self._on_stall,
+            "ff.exit": self._on_ff_exit,
+        }
+        for event, handler in self._handlers.items():
+            bus.subscribe(event, handler)
+
+    def detach(self) -> None:
+        if self._bus is not None:
+            for event, handler in self._handlers.items():
+                self._bus.unsubscribe(event, handler)
+            self._bus = None
+
+    # -- event handlers ----------------------------------------------------
+
+    def _mark(self, core: int, cycle: int, state: str) -> None:
+        open_slice = self._open.get(core)
+        if open_slice is not None and open_slice[0] == state \
+                and open_slice[1] + open_slice[2] == cycle:
+            open_slice[2] += 1
+            return
+        if open_slice is not None:
+            self.slices.append((core, open_slice[0], open_slice[1],
+                                open_slice[2]))
+        self._open[core] = [state, cycle, 1]
+
+    def _on_retire(self, cycle, pid, pc) -> None:
+        self._mark(pid, cycle, "run")
+
+    def _on_stall(self, cycle, pid, pc) -> None:
+        self._mark(pid, cycle, "stall")
+
+    def _on_ff_exit(self, cycle, fast_cycles) -> None:
+        if fast_cycles:
+            self.ff_spans.append((cycle - fast_cycles, fast_cycles))
+
+    # -- results -----------------------------------------------------------
+
+    def finish(self) -> "TraceRecorder":
+        """Close all open slices; call once the run has ended."""
+        if self._system is not None:
+            self._gated_banks = set(self._system.imem.gated_banks)
+        for core, open_slice in sorted(self._open.items()):
+            self.slices.append((core, open_slice[0], open_slice[1],
+                                open_slice[2]))
+        self._open.clear()
+        return self
+
+    @property
+    def end_cycle(self) -> int:
+        """One past the last recorded cycle."""
+        end = 0
+        for _, _, start, length in self.slices:
+            end = max(end, start + length)
+        for open_slice in self._open.values():
+            end = max(end, open_slice[1] + open_slice[2])
+        for start, length in self.ff_spans:
+            end = max(end, start + length)
+        return end
+
+    def slice_totals(self) -> dict[int, dict[str, int]]:
+        """Per-core summed slice durations, keyed by state.
+
+        ``totals[pid]["run"]`` equals the core's retired instruction
+        count and ``totals[pid]["stall"]`` its stall cycles.
+        """
+        totals: dict[int, dict[str, int]] = {
+            core: {} for core in range(self.n_cores)}
+        for core, state, _, length in self.slices:
+            per_core = totals.setdefault(core, {})
+            per_core[state] = per_core.get(state, 0) + length
+        for core, open_slice in self._open.items():
+            per_core = totals.setdefault(core, {})
+            per_core[open_slice[0]] = \
+                per_core.get(open_slice[0], 0) + open_slice[2]
+        return totals
+
+    def to_perfetto(self) -> dict:
+        """Chrome trace-event JSON object (open in ui.perfetto.dev)."""
+        self.finish()
+        end = self.end_cycle
+        events = []
+        label = f"cores ({self.arch})" if self.arch else "cores"
+        events.append({"ph": "M", "name": "process_name", "pid": 1,
+                       "args": {"name": label}})
+        for core in range(self.n_cores):
+            events.append({"ph": "M", "name": "thread_name", "pid": 1,
+                           "tid": core, "args": {"name": f"core {core}"}})
+            events.append({"ph": "M", "name": "thread_sort_index", "pid": 1,
+                           "tid": core, "args": {"sort_index": core}})
+        last_activity = {core: 0 for core in range(self.n_cores)}
+        for core, state, start, length in sorted(self.slices,
+                                                 key=lambda s: (s[0], s[2])):
+            events.append({"ph": "X", "cat": "core", "name": state,
+                           "pid": 1, "tid": core, "ts": start,
+                           "dur": length})
+            last_activity[core] = max(last_activity[core], start + length)
+        for core, stop in last_activity.items():
+            if stop < end:
+                events.append({"ph": "X", "cat": "core", "name": "halted",
+                               "pid": 1, "tid": core, "ts": stop,
+                               "dur": end - stop})
+        if self.ff_spans:
+            events.append({"ph": "M", "name": "process_name", "pid": 2,
+                           "args": {"name": "fast-forward engine"}})
+            events.append({"ph": "M", "name": "thread_name", "pid": 2,
+                           "tid": 0, "args": {"name": "batch commits"}})
+            for start, length in self.ff_spans:
+                events.append({"ph": "X", "cat": "ff",
+                               "name": "fast-forward", "pid": 2, "tid": 0,
+                               "ts": start, "dur": length})
+        if self._im_banks:
+            events.append({"ph": "M", "name": "process_name", "pid": 3,
+                           "args": {"name": "IM banks (power gate)"}})
+            for bank in range(self._im_banks):
+                state = "gated" if bank in self._gated_banks else "active"
+                events.append({"ph": "M", "name": "thread_name", "pid": 3,
+                               "tid": bank,
+                               "args": {"name": f"IM bank {bank}"}})
+                events.append({"ph": "X", "cat": "im", "name": state,
+                               "pid": 3, "tid": bank, "ts": 0,
+                               "dur": max(end, 1)})
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "arch": self.arch,
+                "cycles": end,
+                "unit": "1 cycle = 1 us",
+            },
+        }
+
+    def save(self, path) -> pathlib.Path:
+        """Write the Perfetto JSON to ``path`` and return it."""
+        path = pathlib.Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_perfetto()), encoding="utf-8")
+        return path

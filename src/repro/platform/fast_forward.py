@@ -118,6 +118,22 @@ class FastForwardEngine:
         dw_off = self._dw_off
         im_bank = self._im_bank
 
+        # Observability: per-cycle events are synthesised here so a
+        # probed run sees the identical event stream in either execution
+        # mode (the trace/metric differential tests enforce this).  All
+        # flags are hoisted once per stretch; unprobed runs pay only
+        # these local-boolean checks.
+        bus = system.probes
+        observing = bus is not None and bus.active
+        p_retire = observing and bus.wants("core.retire")
+        p_mmu = observing and bus.wants("mmu.translate")
+        p_im_bc = observing and bus.wants("im.broadcast")
+        p_dm_bc = observing and bus.wants("dm.broadcast")
+        p_ff = observing and bus.wants("ff.exit")
+        if observing and bus.wants("ff.enter"):
+            bus.emit("ff.enter", cycle)
+        entered_at = cycle
+
         # Local stat accumulators, flushed on every exit path.
         im_acc = im_del = im_bc = im_sv = 0
         dm_acc = dm_del = dm_bc = dm_sv = 0
@@ -180,6 +196,9 @@ class FastForwardEngine:
                             ro = ra // dbn
                         dr_bank[pid] = rb
                         dr_off[pid] = ro
+                        if p_mmu:
+                            bus.emit("mmu.translate", cycle, pid, ra, rb,
+                                     ro, ra >= PRIVATE_BASE)
                         dm_count += 1
                         entry = dm_map.get(rb)
                         if entry is None:
@@ -208,6 +227,9 @@ class FastForwardEngine:
                             wo = wa // dbn
                         dw_bank[pid] = wb
                         dw_off[pid] = wo
+                        if p_mmu:
+                            bus.emit("mmu.translate", cycle, pid, wa, wb,
+                                     wo, wa >= PRIVATE_BASE)
                         dm_count += 1
                         if wb in dm_map:
                             conflict = True  # writes never merge
@@ -292,6 +314,8 @@ class FastForwardEngine:
                     if n_run > 1:
                         im_bc += 1
                         im_sv += n_run - 1
+                        if p_im_bc:
+                            bus.emit("im.broadcast", cycle - 1, fb, n_run)
                     for pid in run_list:
                         last = ilast[pid]
                         if last is not None and last != fb:
@@ -299,11 +323,14 @@ class FastForwardEngine:
                         ilast[pid] = fb
                 else:
                     im_acc += len(im_map)
-                    for entry in im_map.values():
+                    for bank_id, entry in im_map.items():
                         count = entry[1]
                         if count > 1:
                             im_bc += 1
                             im_sv += count - 1
+                            if p_im_bc:
+                                bus.emit("im.broadcast", cycle - 1,
+                                         bank_id, count)
                     for pid in run_list:
                         bank = im_bank[pid]
                         last = ilast[pid]
@@ -314,15 +341,20 @@ class FastForwardEngine:
                 if dm_count:
                     dm_del += dm_count
                     dm_acc += len(dm_map)
-                    for entry in dm_map.values():
+                    for bank_id, entry in dm_map.items():
                         count = entry[1]
                         if count > 1:
                             dm_bc += 1
                             dm_sv += count - 1
+                            if p_dm_bc:
+                                bus.emit("dm.broadcast", cycle - 1,
+                                         bank_id, count)
 
                 halted_any = False
                 for pid in run_list:
                     core = cores[pid]
+                    if p_retire:
+                        bus.emit("core.retire", cycle - 1, pid, core.pc)
                     rb = dr_bank[pid]
                     if rb >= 0:
                         value = dbanks[rb].storage[dr_off[pid]]
@@ -353,6 +385,8 @@ class FastForwardEngine:
                                 if not cores[pid].halted]
             return cycle, sync_cycles
         finally:
+            if p_ff:
+                bus.emit("ff.exit", cycle, cycle - entered_at)
             ix = system.ixbar.stats
             ix.bank_accesses += im_acc
             ix.deliveries += im_del

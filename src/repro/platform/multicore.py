@@ -127,6 +127,19 @@ class MultiCoreSystem:
         self.benchmark: Benchmark | None = None
         self._dreads_committed = 0
         self._dwrites_committed = 0
+        #: Probe bus (:mod:`repro.obs.probes`), lazily created by
+        #: :meth:`probe_bus`.  ``None`` — the common case — keeps the
+        #: run loop on its zero-instrumentation path.
+        self.probes = None
+
+    def probe_bus(self):
+        """The system's :class:`~repro.obs.probes.ProbeBus` (created on
+        first use).  Subscribe before :meth:`run`; an attached bus with
+        no subscribers costs nothing measurable."""
+        if self.probes is None:
+            from repro.obs.probes import ProbeBus
+            self.probes = ProbeBus()
+        return self.probes
 
     # -- loading ------------------------------------------------------------------
 
@@ -213,76 +226,129 @@ class MultiCoreSystem:
         running = set(range(n))
 
         engine = self._ff_engine
+
+        # Observability wiring.  With no subscriber (the common case)
+        # this costs one attribute load and the per-cycle/per-event
+        # local-boolean checks below — measured <2 % end-to-end by
+        # benchmarks/bench_obs_overhead.py.
+        bus = self.probes
+        observing = bus is not None and bus.active
+        p_retire = p_stall = hooked_mmus = False
+        if observing:
+            p_retire = bus.wants("core.retire")
+            p_stall = bus.wants("core.stall")
+            if bus.wants("ixbar.conflict"):
+                ixbar.probe_conflict = (
+                    lambda bank, masters:
+                    bus.emit("ixbar.conflict", bus.now, bank, masters))
+            if bus.wants("dxbar.conflict"):
+                dxbar.probe_conflict = (
+                    lambda bank, masters:
+                    bus.emit("dxbar.conflict", bus.now, bank, masters))
+            if bus.wants("im.broadcast"):
+                ixbar.probe_broadcast = (
+                    lambda bank, width:
+                    bus.emit("im.broadcast", bus.now, bank, width))
+            if bus.wants("dm.broadcast"):
+                dxbar.probe_broadcast = (
+                    lambda bank, width:
+                    bus.emit("dm.broadcast", bus.now, bank, width))
+            if bus.wants("mmu.translate"):
+                hooked_mmus = True
+
+                def mmu_probe(pid, logical, bank, offset, private):
+                    bus.emit("mmu.translate", bus.now, pid, logical,
+                             bank, offset, private)
+                for mmu in mmus:
+                    mmu.probe = mmu_probe
+
         cycle = 0
         sync_cycles = 0
-        while running:
-            if engine is not None:
-                # The engine needs every running core at an instruction
-                # boundary (no latched partial grants); mid-stall cycles
-                # stay on the exact path below.
+        try:
+            while running:
+                if engine is not None:
+                    # The engine needs every running core at an instruction
+                    # boundary (no latched partial grants); mid-stall cycles
+                    # stay on the exact path below.
+                    for pid in running:
+                        if attempts[pid].instr is not None:
+                            break
+                    else:
+                        cycle, sync_cycles = engine.advance(
+                            running, attempts, core_stats, cycle,
+                            sync_cycles, max_cycles)
+                        if not running:
+                            break
+                if cycle >= max_cycles:
+                    raise SimulationError(
+                        f"benchmark {self.benchmark.name!r} did not finish "
+                        f"within {max_cycles} cycles on {self.config.name}")
+                cycle += 1
+                if observing:
+                    bus.now = cycle - 1
+
+                im_requests = []
+                dm_requests = []
+                fetch_pcs = set()
                 for pid in running:
-                    if attempts[pid].instr is not None:
-                        break
-                else:
-                    cycle, sync_cycles = engine.advance(
-                        running, attempts, core_stats, cycle, sync_cycles,
-                        max_cycles)
-                    if not running:
-                        break
-            if cycle >= max_cycles:
-                raise SimulationError(
-                    f"benchmark {self.benchmark.name!r} did not finish "
-                    f"within {max_cycles} cycles on {self.config.name}")
-            cycle += 1
+                    core = cores[pid]
+                    attempt = attempts[pid]
+                    if attempt.instr is None:
+                        self._new_attempt(core, attempt, mmus[pid], decoded,
+                                          program_len)
+                    if attempt.need_if:
+                        bank, offset = im_layout.locate(pid, attempt.fetch_pc)
+                        im_requests.append(Request(pid, bank, offset))
+                        fetch_pcs.add(attempt.fetch_pc)
+                    else:
+                        fetch_pcs.add(None)  # mid-instruction: no lockstep
+                    if attempt.need_dr:
+                        bank, offset = attempt.dr_loc
+                        dm_requests.append(Request(pid, bank, offset))
+                    if attempt.need_dw:
+                        bank, offset = attempt.dw_loc
+                        dm_requests.append(
+                            Request(pid, bank, offset, write=True))
+                if len(running) > 1 and len(fetch_pcs) == 1 \
+                        and None not in fetch_pcs:
+                    sync_cycles += 1
 
-            im_requests = []
-            dm_requests = []
-            fetch_pcs = set()
-            for pid in running:
-                core = cores[pid]
-                attempt = attempts[pid]
-                if attempt.instr is None:
-                    self._new_attempt(core, attempt, mmus[pid], decoded,
-                                      program_len)
-                if attempt.need_if:
-                    bank, offset = im_layout.locate(pid, attempt.fetch_pc)
-                    im_requests.append(Request(pid, bank, offset))
-                    fetch_pcs.add(attempt.fetch_pc)
-                else:
-                    fetch_pcs.add(None)  # mid-instruction: not in lockstep
-                if attempt.need_dr:
-                    bank, offset = attempt.dr_loc
-                    dm_requests.append(Request(pid, bank, offset))
-                if attempt.need_dw:
-                    bank, offset = attempt.dw_loc
-                    dm_requests.append(Request(pid, bank, offset, write=True))
-            if len(running) > 1 and len(fetch_pcs) == 1 \
-                    and None not in fetch_pcs:
-                sync_cycles += 1
+                granted_im = ixbar.arbitrate(im_requests) if im_requests \
+                    else set()
+                granted_dm = dxbar.arbitrate(dm_requests) if dm_requests \
+                    else set()
 
-            granted_im = ixbar.arbitrate(im_requests) if im_requests \
-                else set()
-            granted_dm = dxbar.arbitrate(dm_requests) if dm_requests \
-                else set()
-
-            halted_now = []
-            for pid in running:
-                attempt = attempts[pid]
-                if attempt.need_if and (pid, False) in granted_im:
-                    attempt.need_if = False
-                if attempt.need_dr and (pid, False) in granted_dm:
-                    attempt.need_dr = False
-                if attempt.need_dw and (pid, True) in granted_dm:
-                    attempt.need_dw = False
-                if attempt.need_if or attempt.need_dr or attempt.need_dw:
-                    core_stats[pid].stall_cycles += 1
-                    continue
-                self._commit(cores[pid], attempt, dm_banks)
-                if cores[pid].halted:
-                    core_stats[pid].halted_at = cycle
-                    halted_now.append(pid)
-            for pid in halted_now:
-                running.discard(pid)
+                halted_now = []
+                for pid in running:
+                    attempt = attempts[pid]
+                    if attempt.need_if and (pid, False) in granted_im:
+                        attempt.need_if = False
+                    if attempt.need_dr and (pid, False) in granted_dm:
+                        attempt.need_dr = False
+                    if attempt.need_dw and (pid, True) in granted_dm:
+                        attempt.need_dw = False
+                    if attempt.need_if or attempt.need_dr or attempt.need_dw:
+                        core_stats[pid].stall_cycles += 1
+                        if p_stall:
+                            bus.emit("core.stall", cycle - 1, pid,
+                                     attempt.fetch_pc)
+                        continue
+                    if p_retire:
+                        bus.emit("core.retire", cycle - 1, pid,
+                                 attempt.fetch_pc)
+                    self._commit(cores[pid], attempt, dm_banks)
+                    if cores[pid].halted:
+                        core_stats[pid].halted_at = cycle
+                        halted_now.append(pid)
+                for pid in halted_now:
+                    running.discard(pid)
+        finally:
+            if observing:
+                ixbar.probe_conflict = ixbar.probe_broadcast = None
+                dxbar.probe_conflict = dxbar.probe_broadcast = None
+                if hooked_mmus:
+                    for mmu in mmus:
+                        mmu.probe = None
 
         return SimulationResult(
             benchmark=self.benchmark,

@@ -63,6 +63,43 @@ class StreamReport:
         """Slowest clock that still meets every block's deadline."""
         return self.worst_cycles / self.block_period_s
 
+    # -- deadline-miss reporting ------------------------------------------
+
+    @property
+    def deadline_budget_cycles(self) -> float:
+        """Cycles available per block at this clock."""
+        return self.clock_hz * self.block_period_s
+
+    def block_utilisation(self, index: int) -> float:
+        """Fraction of block ``index``'s period spent computing."""
+        return self.blocks[index].stats.total_cycles \
+            / self.deadline_budget_cycles
+
+    @property
+    def missed_blocks(self) -> list[int]:
+        """Indices of blocks whose computation overran the block period."""
+        budget = self.deadline_budget_cycles
+        return [block.index for block in self.blocks
+                if block.stats.total_cycles > budget]
+
+    @property
+    def deadline_misses(self) -> int:
+        return len(self.missed_blocks)
+
+    def deadline_report(self) -> str:
+        """One line per block: cycles, utilisation and OK/MISS verdict."""
+        budget = self.deadline_budget_cycles
+        lines = [f"{self.arch} @ {self.clock_hz:.4g} Hz — block budget "
+                 f"{budget:.0f} cycles ({self.block_period_s:.4g} s)"]
+        for block in self.blocks:
+            cycles = block.stats.total_cycles
+            verdict = "MISS" if cycles > budget else "ok"
+            lines.append(f"  block {block.index:>3}: {cycles:>9} cycles "
+                         f"({cycles / budget:7.1%})  {verdict}")
+        lines.append(f"  deadline misses: {self.deadline_misses}"
+                     f"/{len(self.blocks)}")
+        return "\n".join(lines)
+
     @property
     def total_retired(self) -> int:
         return sum(block.stats.total_retired for block in self.blocks)
@@ -105,8 +142,11 @@ def run_stream(arch: str, series,
         system = build_platform(arch)
     report = StreamReport(arch=arch, clock_hz=clock_hz,
                           block_period_s=block_period)
+    bus = system.probes
     for index, built in enumerate(series):
         result = system.run(built.benchmark)
         verify_result(built, result)
         report.blocks.append(BlockOutcome(index=index, stats=result.stats))
+        if bus is not None and bus.wants("block.done"):
+            bus.emit("block.done", index, result.stats)
     return report

@@ -7,16 +7,21 @@ aggregate counters instead, but a per-cycle trace is still the tool one
 reaches for when studying synchronisation: it shows, cycle by cycle,
 which PC every core fetched, who stalled, and where broadcasts happened.
 
-:func:`trace_run` wraps a :class:`~repro.platform.multicore.MultiCoreSystem`
-run and records a window of cycles; :func:`render_trace` pretty-prints it
+:func:`trace_run` records a window of cycles through the probe bus
+(:mod:`repro.obs.probes`) — it subscribes to ``core.retire`` and
+``core.stall``, so it works identically in cycle-stepped and
+fast-forward execution (the engine synthesises per-cycle events for the
+stretches it batch-commits).  :func:`render_trace` pretty-prints a trace
 (one line per cycle, one column per core, ``*`` marking stalls), and
-:func:`sync_profile` reduces a full trace to per-cycle group counts —
-the quantity that decides instruction-broadcast effectiveness.
+:func:`sync_profile` reduces it to per-cycle PC-group counts — the
+quantity that decides instruction-broadcast effectiveness.
+
+For Perfetto/Chrome-trace export of a full run, see
+:class:`repro.obs.perfetto.TraceRecorder`.
 """
 
 from __future__ import annotations
 
-from collections import Counter
 from dataclasses import dataclass, field
 
 from repro.platform.multicore import Benchmark, MultiCoreSystem
@@ -46,39 +51,46 @@ def trace_run(system: MultiCoreSystem, benchmark: Benchmark,
               max_cycles: int = 20_000_000) -> Trace:
     """Run ``benchmark`` on ``system`` recording cycles [start, start+length).
 
-    The observer hooks the I-Xbar's once-per-cycle arbitration call — it
-    only *reads* machine state, so the traced run is cycle-identical to
-    an untraced one (a test asserts this).
+    The recorder only *subscribes* to probe events — it never touches
+    machine state — so the traced run is cycle-identical to an untraced
+    one (a test asserts this).  Cycle numbers are 0-based.  Unlike the
+    pre-probe-bus implementation, cycles executed by the fast-forward
+    engine are recorded too (the engine emits synthesised per-cycle
+    events), so ``fast_forward=True`` systems trace exactly like
+    cycle-stepped ones.
     """
-    trace = Trace(arch=system.config.name)
+    bus = system.probe_bus()
+    n_cores = system.config.n_cores
     window_end = start + length
-    cycle_box = {"n": 0}
-    original_arbitrate = system.ixbar.arbitrate
+    rows: dict[int, list] = {}
 
-    def observing_arbitrate(requests):
-        granted = original_arbitrate(requests)
-        cycle = cycle_box["n"]
+    def record(cycle, pid, pc, stalled):
         if start <= cycle < window_end:
-            stalled = {request.master for request in requests
-                       if (request.master, False) not in granted}
-            snapshot = tuple(
-                None if core.halted else (core.pc, pid in stalled)
-                for pid, core in enumerate(system.cores))
-            trace.cycles.append(TraceCycle(cycle=cycle, cores=snapshot))
-        cycle_box["n"] += 1
-        return granted
+            row = rows.get(cycle)
+            if row is None:
+                rows[cycle] = row = [None] * n_cores
+            row[pid] = (pc, stalled)
 
-    system.ixbar.arbitrate = observing_arbitrate
-    try:
+    handlers = {
+        "core.retire": lambda cycle, pid, pc: record(cycle, pid, pc, False),
+        "core.stall": lambda cycle, pid, pc: record(cycle, pid, pc, True),
+    }
+    with bus.subscribed(handlers):
         system.run(benchmark, max_cycles=max_cycles)
-    finally:
-        system.ixbar.arbitrate = original_arbitrate
-    return trace
+    return Trace(arch=system.config.name,
+                 cycles=[TraceCycle(cycle=cycle, cores=tuple(rows[cycle]))
+                         for cycle in sorted(rows)])
 
 
 def render_trace(trace: Trace, width: int = 6) -> str:
-    """One line per cycle; ``*`` marks a stalled core, ``-`` a halted one."""
-    n_cores = len(trace.cycles[0].cores) if trace.cycles else 0
+    """One line per cycle; ``*`` marks a stalled core, ``-`` a halted one.
+
+    An empty trace renders as a single placeholder line rather than
+    raising (traces of windows past the end of a run are legal).
+    """
+    if not trace.cycles:
+        return f"(empty trace: {trace.arch or 'no cycles recorded'})"
+    n_cores = len(trace.cycles[0].cores)
     header = "cycle " + "".join(f"core{i}".rjust(width + 1)
                                 for i in range(n_cores))
     lines = [header]
@@ -99,11 +111,14 @@ def sync_profile(trace: Trace) -> list[int]:
     """Per-cycle count of distinct PCs among running cores.
 
     1 means full lockstep (maximum instruction-broadcast benefit); 8
-    means complete desynchronisation.
+    means complete desynchronisation.  Cycles with *no* running core
+    (all entries ``None``, possible in hand-built or padded traces) are
+    skipped — counting them as zero-PC cycles would deflate every
+    statistic derived from the profile.
     """
     profile = []
     for record in trace.cycles:
-        pcs = Counter(entry[0] for entry in record.cores
-                      if entry is not None)
-        profile.append(len(pcs))
+        pcs = {entry[0] for entry in record.cores if entry is not None}
+        if pcs:
+            profile.append(len(pcs))
     return profile

@@ -1,0 +1,107 @@
+"""Run manifests: digests, record schema and JSONL round-trip."""
+
+import json
+
+import pytest
+
+from repro.kernels import BenchmarkSpec, build_benchmark
+from repro.obs import (config_digest, git_revision, manifest_record,
+                       read_manifests, stats_digest, write_manifest)
+from repro.platform import build_platform
+
+REQUIRED_FIELDS = {
+    "kind", "name", "arch", "config", "config_hash", "git_rev",
+    "stats_digest", "stats_summary", "event_summary", "wall_time_s",
+    "created", "extra",
+}
+
+
+@pytest.fixture(scope="module")
+def run():
+    built = build_benchmark(BenchmarkSpec(n_samples=64, n_measurements=32,
+                                          huffman_private=True))
+    system = build_platform("ulpmc-bank")
+    result = system.run(built.benchmark)
+    return system, result
+
+
+class TestDigests:
+    def test_config_digest_is_stable(self, run):
+        system, _ = run
+        assert config_digest(system.config) == config_digest(system.config)
+        assert config_digest(build_platform("mc-ref").config) \
+            != config_digest(system.config)
+
+    def test_stats_digest_tracks_content(self, run):
+        _, result = run
+        digest = stats_digest(result.stats)
+        assert len(digest) == 64 and int(digest, 16) >= 0
+        import dataclasses
+        mutated = dataclasses.replace(result.stats,
+                                      total_cycles=result.stats.total_cycles
+                                      + 1)
+        assert stats_digest(mutated) != digest
+
+    def test_git_revision_in_checkout(self):
+        rev = git_revision()
+        assert rev == "unknown" or len(rev) == 40
+
+    def test_git_revision_outside_checkout(self, tmp_path):
+        assert git_revision(cwd=tmp_path) == "unknown"
+
+
+class TestRecord:
+    def test_schema_fields_always_present(self):
+        record = manifest_record("benchmark", "smoke")
+        assert set(record) == REQUIRED_FIELDS
+        assert record["arch"] is None
+        assert record["stats_digest"] is None
+        assert record["extra"] == {}
+
+    def test_record_from_stats(self, run):
+        system, result = run
+        record = manifest_record(
+            "trace", "ecg", arch="ulpmc-bank", config=system.config,
+            stats=result.stats, wall_time_s=1.25,
+            extra={"fast_forward": False})
+        assert record["config_hash"] == config_digest(system.config)
+        assert record["stats_digest"] == stats_digest(result.stats)
+        assert record["stats_summary"]["total_cycles"] \
+            == result.stats.total_cycles
+        assert record["extra"] == {"fast_forward": False}
+        # The whole record must be JSON-serialisable as-is.
+        json.dumps(record)
+
+    def test_payload_digest_without_stats(self):
+        record = manifest_record("experiment", "table1", payload="a,b\n1,2")
+        assert record["stats_digest"] is not None
+        assert record["stats_summary"] is None
+
+
+class TestJsonl:
+    def test_append_and_read_round_trip(self, tmp_path, run):
+        system, result = run
+        directory = tmp_path / "runs"
+        first = manifest_record("profile", "ecg", arch="ulpmc-bank",
+                                stats=result.stats)
+        second = manifest_record("benchmark", "overhead",
+                                 payload=[{"idle_overhead": 0.01}])
+        path = write_manifest(first, directory=directory)
+        assert write_manifest(second, directory=directory) == path
+        records = read_manifests(directory=directory)
+        assert [record["kind"] for record in records] \
+            == ["profile", "benchmark"]
+        assert records[0]["stats_digest"] == stats_digest(result.stats)
+
+    def test_read_missing_manifest(self, tmp_path):
+        assert read_manifests(directory=tmp_path / "nowhere") == []
+
+    def test_identical_runs_share_digests(self, run):
+        """The reproducibility contract the manifest trail exists for."""
+        system, result = run
+        built = build_benchmark(BenchmarkSpec(n_samples=64,
+                                              n_measurements=32,
+                                              huffman_private=True))
+        again = build_platform("ulpmc-bank", fast_forward=True) \
+            .run(built.benchmark)
+        assert stats_digest(again.stats) == stats_digest(result.stats)

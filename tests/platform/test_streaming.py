@@ -86,3 +86,49 @@ class TestStreaming:
             run_stream("mc-ref", [], clock_hz=1e6)
         with pytest.raises(ConfigurationError):
             run_stream("mc-ref", series, clock_hz=0)
+
+
+class TestDeadlineReporting:
+    def test_budget_and_per_block_utilisation(self, series):
+        report = run_stream("ulpmc-bank", series, clock_hz=1e6)
+        assert report.deadline_budget_cycles == pytest.approx(
+            1e6 * report.block_period_s)
+        for index, cycles in enumerate(report.cycles_per_block):
+            assert report.block_utilisation(index) == pytest.approx(
+                cycles / report.deadline_budget_cycles)
+
+    def test_fast_clock_misses_nothing(self, series):
+        report = run_stream("ulpmc-bank", series, clock_hz=1e6)
+        assert report.missed_blocks == []
+        assert report.deadline_misses == 0
+        assert report.real_time
+
+    def test_slow_clock_misses_every_block(self, series):
+        report = run_stream("ulpmc-bank", series, clock_hz=1e4)
+        assert report.missed_blocks == [0, 1, 2]
+        assert report.deadline_misses == len(series)
+        assert not report.real_time
+
+    def test_threshold_clock_separates_blocks(self, series):
+        """A clock between the cheapest and the costliest block misses
+        exactly the blocks over budget."""
+        report = run_stream("ulpmc-bank", series, clock_hz=1e6)
+        cycles = report.cycles_per_block
+        if min(cycles) == max(cycles):
+            pytest.skip("blocks happen to cost identical cycles")
+        threshold_hz = (min(cycles) + 0.5) / report.block_period_s
+        tight = run_stream("ulpmc-bank", series, clock_hz=threshold_hz)
+        expected = [index for index, c in enumerate(cycles)
+                    if c > min(cycles)]
+        assert tight.missed_blocks == expected
+
+    def test_deadline_report_text(self, series):
+        slow = run_stream("ulpmc-bank", series, clock_hz=1e4)
+        text = slow.deadline_report()
+        lines = text.splitlines()
+        assert lines[0].startswith("ulpmc-bank @")
+        assert len(lines) == len(series) + 2
+        assert all("MISS" in line for line in lines[1:-1])
+        assert lines[-1].endswith(f"{len(series)}/{len(series)}")
+        ok = run_stream("ulpmc-bank", series, clock_hz=1e6)
+        assert "MISS" not in ok.deadline_report()

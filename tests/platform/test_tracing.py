@@ -63,6 +63,35 @@ class TestTraceRun:
         assert stalls > 0
 
 
+class TestFastForwardTracing:
+    """Regression: the pre-probe-bus tracer monkey-patched the exact
+    commit path, so any cycle batch-committed by the fast-forward engine
+    silently vanished from the trace."""
+
+    def test_fast_forward_cycles_are_recorded(self, built):
+        system = build_platform("ulpmc-int", fast_forward=True)
+        trace = trace_run(system, built.benchmark, start=0, length=200)
+        assert len(trace) == 200
+        # The window spans engine-committed stretches: at least one
+        # recorded cycle must actually have run inside one.
+        spans = []
+        bus = system.probe_bus()
+        bus.subscribe("ff.exit",
+                      lambda cycle, fast: spans.append((cycle - fast, fast)))
+        system.run(built.benchmark)
+        bus.clear()
+        assert any(start < 200 and start + length > 0
+                   for start, length in spans if length)
+
+    @pytest.mark.parametrize("arch", ["mc-ref", "ulpmc-int", "ulpmc-bank"])
+    def test_trace_identical_across_modes(self, arch, built):
+        slow = trace_run(build_platform(arch), built.benchmark,
+                         start=0, length=10**9)
+        fast = trace_run(build_platform(arch, fast_forward=True),
+                         built.benchmark, start=0, length=10**9)
+        assert slow.cycles == fast.cycles
+
+
 class TestRendering:
     def test_render(self, built):
         system = build_platform("ulpmc-int")
@@ -72,3 +101,36 @@ class TestRendering:
         assert lines[0].startswith("cycle")
         assert len(lines) == 6
         assert "core7" in lines[0]
+
+    def test_render_empty_trace(self, built):
+        """Regression: a window past the end of the run used to crash
+        ``render_trace`` with an IndexError on ``cycles[0]``."""
+        from repro.platform.tracing import Trace
+
+        system = build_platform("mc-ref")
+        trace = trace_run(system, built.benchmark, start=10**8, length=10)
+        assert len(trace) == 0
+        text = render_trace(trace)
+        assert "empty trace" in text
+        assert render_trace(Trace(arch="")).startswith("(empty trace")
+
+
+class TestSyncProfile:
+    def test_all_halted_cycles_are_skipped(self):
+        """Regression: a record whose entries are all ``None`` used to
+        contribute a 0 to the profile, deflating min/mean statistics."""
+        from repro.platform.tracing import Trace, TraceCycle
+
+        trace = Trace(arch="mc-ref", cycles=[
+            TraceCycle(cycle=0, cores=((0x10, False), (0x10, False))),
+            TraceCycle(cycle=1, cores=(None, None)),
+            TraceCycle(cycle=2, cores=((0x12, False), (0x14, True))),
+        ])
+        assert sync_profile(trace) == [1, 2]
+
+    def test_profile_matches_trace_length_when_cores_active(self, built):
+        system = build_platform("ulpmc-bank")
+        trace = trace_run(system, built.benchmark, start=0, length=10**9)
+        # Every recorded cycle has at least one active core, so nothing
+        # is skipped.
+        assert len(sync_profile(trace)) == len(trace)

@@ -1,30 +1,108 @@
-"""Command-line driver."""
+"""Command-line driver: legacy experiment interface and the
+``trace``/``profile`` observability subcommands."""
+
+import json
 
 import pytest
 
 from repro.cli import main
 
 
-def test_unknown_experiment_rejected(capsys):
-    with pytest.raises(SystemExit):
-        main(["nope"])
+class TestExperiment:
+    def test_unknown_experiment_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["nope"])
+
+    def test_single_experiment_text(self, capsys):
+        assert main(["table1", "--no-manifest"]) == 0
+        out = capsys.readouterr().out
+        assert "Area of the architectures" in out
+        assert "paper" in out
+
+    def test_csv_output(self, capsys):
+        assert main(["table1", "--csv", "--no-manifest"]) == 0
+        out = capsys.readouterr().out
+        assert out.splitlines()[0].startswith("component,")
+
+    def test_output_directory(self, tmp_path, capsys):
+        assert main(["table1", "--output", str(tmp_path / "results"),
+                     "--no-manifest"]) == 0
+        csv_file = tmp_path / "results" / "table1.csv"
+        assert csv_file.exists()
+        assert csv_file.read_text().startswith("component,")
+
+    def test_explicit_subcommand_word(self, tmp_path, capsys):
+        """``repro experiment table1`` == ``repro-experiment table1``."""
+        assert main(["experiment", "table1",
+                     "--runs-dir", str(tmp_path)]) == 0
+        assert "Area of the architectures" in capsys.readouterr().out
+
+    def test_manifest_written(self, tmp_path, capsys):
+        from repro.obs import read_manifests
+        assert main(["table1", "--runs-dir", str(tmp_path)]) == 0
+        records = read_manifests(directory=tmp_path)
+        assert len(records) == 1
+        assert records[0]["kind"] == "experiment"
+        assert records[0]["name"] == "table1"
+        assert records[0]["stats_digest"]
 
 
-def test_single_experiment_text(capsys):
-    assert main(["table1"]) == 0
-    out = capsys.readouterr().out
-    assert "Area of the architectures" in out
-    assert "paper" in out
+class TestTrace:
+    def test_trace_single_arch(self, tmp_path, capsys):
+        from repro.obs import read_manifests
+        assert main(["trace", "--arch", "ulpmc-bank", "--samples", "64",
+                     "--measurements", "32",
+                     "--out-dir", str(tmp_path / "traces"),
+                     "--runs-dir", str(tmp_path / "runs")]) == 0
+        out = capsys.readouterr().out
+        assert "ulpmc-bank:" in out and "slices" in out
+
+        trace_file = tmp_path / "traces" / "trace-ulpmc-bank.json"
+        document = json.loads(trace_file.read_text(encoding="utf-8"))
+        assert document["traceEvents"]
+        assert document["otherData"]["arch"] == "ulpmc-bank"
+
+        records = read_manifests(directory=tmp_path / "runs")
+        assert [record["kind"] for record in records] == ["trace"]
+        assert records[0]["arch"] == "ulpmc-bank"
+        assert records[0]["config_hash"]
+        assert records[0]["event_summary"]["probe.retired"] > 0
+        assert records[0]["extra"]["trace_file"].endswith(
+            "trace-ulpmc-bank.json")
+
+    def test_trace_all_arches_fast_forward(self, tmp_path, capsys):
+        assert main(["trace", "--samples", "64", "--measurements", "32",
+                     "--fast-forward", "--no-manifest",
+                     "--out-dir", str(tmp_path)]) == 0
+        names = {path.name for path in tmp_path.iterdir()}
+        assert names == {"trace-mc-ref.json", "trace-ulpmc-int.json",
+                         "trace-ulpmc-bank.json"}
+        out = capsys.readouterr().out
+        assert "fast-forward spans" in out
 
 
-def test_csv_output(capsys):
-    assert main(["table1", "--csv"]) == 0
-    out = capsys.readouterr().out
-    assert out.splitlines()[0].startswith("component,")
+class TestProfile:
+    def test_profile_prints_registry_and_reconciles(self, tmp_path, capsys):
+        from repro.obs import read_manifests
+        assert main(["profile", "--arch", "ulpmc-int", "--samples", "64",
+                     "--measurements", "32",
+                     "--runs-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "== ulpmc-int (exact" in out
+        assert "sync_group_size" in out
+        assert "conflict_burst_length" in out
+        assert "sim.total_cycles" in out
+        assert "probe/stats reconciliation ok" in out
 
+        records = read_manifests(directory=tmp_path)
+        assert [record["kind"] for record in records] == ["profile"]
+        summary = records[0]["event_summary"]
+        assert summary["probe.retired"] == summary["sim.total_retired"]
 
-def test_output_directory(tmp_path, capsys):
-    assert main(["table1", "--output", str(tmp_path / "results")]) == 0
-    csv_file = tmp_path / "results" / "table1.csv"
-    assert csv_file.exists()
-    assert csv_file.read_text().startswith("component,")
+    def test_profile_fast_forward(self, capsys):
+        assert main(["profile", "--arch", "mc-ref", "--samples", "64",
+                     "--measurements", "32", "--fast-forward",
+                     "--no-manifest"]) == 0
+        out = capsys.readouterr().out
+        assert "== mc-ref (fast-forward" in out
+        assert "probe/stats reconciliation ok" in out
