@@ -7,8 +7,13 @@ Two questions, one per acceptance criterion:
   all?  This is the price every user pays for the instrumentation
   sites; the budget is <2 % (CI fails the quick run above 5 % to leave
   headroom for runner noise).
-* **Subscribed cost** (reported, not gated) — the slowdown with the
-  full metrics collector attached, i.e. what ``repro profile`` costs.
+* **Subscribed cost** — the slowdown with the full metrics collector
+  attached, i.e. what ``repro profile`` costs.  The batched ring-buffer
+  delivery path keeps this under 10 % in both execution modes, and the
+  gate holds it there.  Before timing anything the script also verifies
+  that batched and per-event delivery produce bit-identical metric
+  registries on every platform/mode — speed that changes the numbers
+  would be worthless.
 
 Measured on both execution modes of every platform: the fast-forward
 engine amortises its emission checks per stretch, the cycle-stepped
@@ -39,6 +44,11 @@ from repro.platform import ARCH_NAMES, build_platform
 #: The design target is 2 %; the gate leaves headroom for shared-runner
 #: timing noise.
 FAIL_THRESHOLD = 0.05
+
+#: Maximum tolerated slowdown with the full metrics collector
+#: subscribed.  The batched delivery path measures 2-5 % on a quiet
+#: machine; the gate doubles that for runner noise.
+SUBSCRIBED_THRESHOLD = 0.10
 
 
 #: Minimum duration of one timed sample; short runs are repeated within
@@ -101,6 +111,34 @@ def measure(built, arch: str, fast_forward: bool, repeats: int) -> dict:
     }
 
 
+def verify_identity(built) -> list[str]:
+    """Batched and per-event delivery must agree bit-for-bit.
+
+    Runs the workload once per platform/mode under each delivery mode
+    and diffs the finished metric registries.  Returns human-readable
+    mismatch descriptions; empty means identical everywhere.
+    """
+    mismatches = []
+    for arch in ARCH_NAMES:
+        for fast_forward in (False, True):
+            snaps = {}
+            for batched in (True, False):
+                system = build_platform(arch, fast_forward=fast_forward)
+                bus = system.probe_bus()
+                collector = ProbeMetrics.attach(bus, batched=batched)
+                system.run(built.benchmark)
+                snaps[batched] = collector.finish().snapshot()
+            if snaps[True] != snaps[False]:
+                diverging = sorted(
+                    name for name in set(snaps[True]) | set(snaps[False])
+                    if snaps[True].get(name) != snaps[False].get(name))
+                mode = "fast-forward" if fast_forward else "exact"
+                mismatches.append(
+                    f"{arch} ({mode}): batched != per-event on "
+                    f"{', '.join(diverging)}")
+    return mismatches
+
+
 def report(rows: list[dict]) -> None:
     print(f"{'arch':<11} {'mode':<13} {'bare [s]':>9} {'idle [s]':>9} "
           f"{'idle ovh':>9} {'metrics ovh':>12}")
@@ -128,40 +166,66 @@ def main(argv=None) -> int:
         repeats = args.repeats or 5
     built = build_benchmark(spec)
 
+    mismatches = verify_identity(built)
+    for mismatch in mismatches:
+        print(f"FAIL: {mismatch}", file=sys.stderr)
+    if mismatches:
+        return 1  # timing a wrong answer is pointless
+    print("identity: batched == per-event metrics on every platform/mode")
+
     rows = [measure(built, arch, fast_forward, repeats)
             for arch in ARCH_NAMES for fast_forward in (False, True)]
 
     # A cell over budget on a noisy runner gets one clean re-measurement
     # with doubled repeats before the verdict: failing CI then requires
     # two independent bad measurements of the same configuration.
+    def over_budget(row):
+        return (row["idle_overhead"] > FAIL_THRESHOLD
+                or row["subscribed_overhead"] > SUBSCRIBED_THRESHOLD)
+
     for index, row in enumerate(rows):
-        if row["idle_overhead"] > FAIL_THRESHOLD:
+        if over_budget(row):
             print(f"re-measuring {row['arch']} ({row['mode']}): first pass "
-                  f"read {row['idle_overhead']:.1%}", file=sys.stderr)
+                  f"read idle {row['idle_overhead']:.1%} / subscribed "
+                  f"{row['subscribed_overhead']:.1%}", file=sys.stderr)
             rows[index] = measure(
                 built, row["arch"], row["mode"] == "fast-forward",
                 repeats * 2)
     report(rows)
 
-    worst = max(rows, key=lambda row: row["idle_overhead"])
+    worst_idle = max(rows, key=lambda row: row["idle_overhead"])
+    worst_sub = max(rows, key=lambda row: row["subscribed_overhead"])
     try:
         from repro.obs import manifest_record, write_manifest
         write_manifest(manifest_record(
             "benchmark", "bench_obs_overhead",
             payload=rows,
             extra={"quick": args.quick,
-                   "worst_idle_overhead": worst["idle_overhead"]}))
+                   "worst_idle_overhead": worst_idle["idle_overhead"],
+                   "worst_subscribed_overhead":
+                       worst_sub["subscribed_overhead"]}))
     except OSError:
         pass  # read-only checkout: the measurement still stands
 
-    if worst["idle_overhead"] > FAIL_THRESHOLD:
-        print(f"FAIL: idle-bus overhead {worst['idle_overhead']:.1%} on "
-              f"{worst['arch']} ({worst['mode']}) exceeds the "
-              f"{FAIL_THRESHOLD:.0%} budget", file=sys.stderr)
+    failed = False
+    if worst_idle["idle_overhead"] > FAIL_THRESHOLD:
+        print(f"FAIL: idle-bus overhead {worst_idle['idle_overhead']:.1%} "
+              f"on {worst_idle['arch']} ({worst_idle['mode']}) exceeds "
+              f"the {FAIL_THRESHOLD:.0%} budget", file=sys.stderr)
+        failed = True
+    if worst_sub["subscribed_overhead"] > SUBSCRIBED_THRESHOLD:
+        print(f"FAIL: subscribed overhead "
+              f"{worst_sub['subscribed_overhead']:.1%} on "
+              f"{worst_sub['arch']} ({worst_sub['mode']}) exceeds the "
+              f"{SUBSCRIBED_THRESHOLD:.0%} budget", file=sys.stderr)
+        failed = True
+    if failed:
         return 1
-    print(f"OK: worst idle-bus overhead {worst['idle_overhead']:.1%} "
-          f"({worst['arch']}, {worst['mode']}) within the "
-          f"{FAIL_THRESHOLD:.0%} budget")
+    print(f"OK: worst idle {worst_idle['idle_overhead']:.1%} "
+          f"({worst_idle['arch']}, {worst_idle['mode']}), worst "
+          f"subscribed {worst_sub['subscribed_overhead']:.1%} "
+          f"({worst_sub['arch']}, {worst_sub['mode']}) — both within "
+          f"budget")
     return 0
 
 

@@ -1,6 +1,7 @@
 """Command-line driver.
 
-Three subcommands, all writing run-manifest provenance to ``runs/``:
+Four subcommands, all but the last writing run-manifest provenance to
+``runs/``:
 
 * ``repro experiment <id ...|all> [--csv]`` — reproduce the paper's
   tables/figures (the historical ``repro-experiment`` interface; the
@@ -12,6 +13,9 @@ Three subcommands, all writing run-manifest provenance to ``runs/``:
 * ``repro profile`` — run with the metrics collector attached, print
   the registry (sync-group-size and conflict-burst histograms included)
   and cross-check the probe counters against ``SimulationStats``.
+* ``repro regress`` — scan the run manifests for cross-revision digest
+  drift (or same-revision nondeterminism) and exit non-zero on any
+  finding; the CI regression gate.
 """
 
 from __future__ import annotations
@@ -41,6 +45,36 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="run-manifest directory (default: runs/)")
     parser.add_argument("--no-manifest", action="store_true",
                         help="skip writing the run manifest")
+
+
+def _add_sampling(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--sample", metavar="EVENT=N", action="append", default=[],
+        help="deliver only every N-th occurrence of EVENT (repeatable; "
+             "exact occurrence counters are kept, but derived metrics "
+             "become approximate, so the probe/stats cross-check is "
+             "skipped)")
+
+
+def _apply_sampling(bus, parser, pairs) -> bool:
+    """Install ``EVENT=N`` policies; True if any event is decimated."""
+    sampled = False
+    for pair in pairs:
+        event, _, every = pair.partition("=")
+        try:
+            rate = int(every)
+        except ValueError:
+            rate = 0
+        if not event or rate < 1:
+            parser.error(f"--sample expects EVENT=N with N >= 1, "
+                         f"got {pair!r}")
+        from repro.obs import ConfigurationError
+        try:
+            bus.set_sampling(event, rate)
+        except ConfigurationError as exc:
+            parser.error(str(exc))
+        sampled = sampled or rate > 1
+    return sampled
 
 
 def _arches(name: str) -> list[str]:
@@ -118,6 +152,7 @@ def cmd_trace(argv) -> int:
         description="Run the ECG benchmark with the Perfetto trace "
                     "recorder attached; the JSON opens in ui.perfetto.dev.")
     _add_common(parser)
+    _add_sampling(parser)
     parser.add_argument("--out-dir", metavar="DIR", default="runs",
                         help="directory for trace-<arch>.json "
                              "(default: runs/)")
@@ -132,16 +167,21 @@ def cmd_trace(argv) -> int:
     for arch in _arches(args.arch):
         started = time.perf_counter()
         system = build_platform(arch, fast_forward=args.fast_forward)
+        bus = system.probe_bus()
+        sampled = _apply_sampling(bus, parser, args.sample)
         recorder = TraceRecorder.attach(system)
-        metrics = ProbeMetrics.attach(system.probe_bus())
+        metrics = ProbeMetrics.attach(bus)
         result = system.run(built.benchmark)
         verify_result(built, result)
         wall = time.perf_counter() - started
-        mismatches = metrics.verify_against(result.stats)
-        if mismatches:
-            print(f"{arch}: probe/stats mismatch: {mismatches}",
-                  file=sys.stderr)
-            return 1
+        if sampled:
+            metrics.finish()  # decimated metrics can't reconcile exactly
+        else:
+            mismatches = metrics.verify_against(result.stats)
+            if mismatches:
+                print(f"{arch}: probe/stats mismatch: {mismatches}",
+                      file=sys.stderr)
+                return 1
         path = recorder.save(
             pathlib.Path(args.out_dir) / f"trace-{arch}.json")
         print(f"{arch}: {result.stats.total_cycles} cycles, "
@@ -154,7 +194,10 @@ def cmd_trace(argv) -> int:
                 event_summary=metrics.registry.snapshot(),
                 wall_time_s=wall,
                 extra={"trace_file": str(path),
-                       "fast_forward": args.fast_forward},
+                       "fast_forward": args.fast_forward,
+                       "sampling": dict(
+                           pair.partition("=")[::2]
+                           for pair in args.sample) or None},
             ), directory=args.runs_dir)
     return 0
 
@@ -165,6 +208,12 @@ def cmd_profile(argv) -> int:
         description="Run the ECG benchmark with the metrics registry "
                     "attached and print counters and histograms.")
     _add_common(parser)
+    _add_sampling(parser)
+    parser.add_argument(
+        "--unbatched", action="store_true",
+        help="deliver every probe event through its own callback "
+             "instead of the batched ring-buffer path (slower; useful "
+             "for cross-checking the two delivery modes)")
     args = parser.parse_args(argv)
 
     from repro.kernels import verify_result
@@ -175,36 +224,84 @@ def cmd_profile(argv) -> int:
     for arch in _arches(args.arch):
         started = time.perf_counter()
         system = build_platform(arch, fast_forward=args.fast_forward)
-        metrics = ProbeMetrics.attach(system.probe_bus())
+        bus = system.probe_bus()
+        sampled = _apply_sampling(bus, parser, args.sample)
+        metrics = ProbeMetrics.attach(bus, batched=not args.unbatched)
         result = system.run(built.benchmark)
         verify_result(built, result)
         wall = time.perf_counter() - started
         registry = metrics.finish()
         registry.update_from_stats(result.stats)
-        mismatches = metrics.verify_against(result.stats)
         print(f"== {arch} ({'fast-forward' if args.fast_forward else 'exact'}"
               f", {wall:.2f} s) ==")
         print(registry.render())
-        if mismatches:
-            print(f"probe/stats RECONCILIATION FAILED: {mismatches}",
-                  file=sys.stderr)
-            return 1
-        print("probe/stats reconciliation ok")
+        if sampled:
+            print("probe/stats reconciliation skipped (sampling active)")
+        else:
+            mismatches = metrics.verify_against(result.stats)
+            if mismatches:
+                print(f"probe/stats RECONCILIATION FAILED: {mismatches}",
+                      file=sys.stderr)
+                return 1
+            print("probe/stats reconciliation ok")
         print()
         if not args.no_manifest:
             write_manifest(manifest_record(
                 "profile", built.benchmark.name, arch=arch,
                 config=system.config, stats=result.stats,
                 event_summary=registry.snapshot(), wall_time_s=wall,
-                extra={"fast_forward": args.fast_forward},
+                extra={"fast_forward": args.fast_forward,
+                       "batched": not args.unbatched},
             ), directory=args.runs_dir)
     return 0
+
+
+def cmd_regress(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro regress",
+        description="Detect cross-revision drift (or same-revision "
+                    "nondeterminism) in the run manifests; exits "
+                    "non-zero on any finding.")
+    parser.add_argument("--runs-dir", metavar="DIR", default="runs",
+                        help="run-manifest directory (default: runs/)")
+    parser.add_argument("--baseline", metavar="DIR", default=None,
+                        help="compare the newest record per run identity "
+                             "against this manifest directory instead of "
+                             "scanning one directory's history")
+    parser.add_argument("--format", choices=("text", "json", "markdown"),
+                        default="text", help="report format")
+    parser.add_argument("--output", metavar="FILE", default=None,
+                        help="also write the report to FILE")
+    parser.add_argument("--kinds", default=",".join(
+                            sorted(("experiment", "trace", "profile"))),
+                        help="comma-separated record kinds to compare "
+                             "(default: experiment,profile,trace; "
+                             "benchmark timings are never reproducible)")
+    parser.add_argument("--min-groups", type=int, default=0,
+                        help="fail unless at least this many run "
+                             "identities had something to compare "
+                             "(guards CI against scanning an empty "
+                             "manifest and passing vacuously)")
+    args = parser.parse_args(argv)
+
+    from repro.obs import run_regression
+    kinds = tuple(kind.strip() for kind in args.kinds.split(",")
+                  if kind.strip())
+    report = run_regression(args.runs_dir, baseline_dir=args.baseline,
+                            kinds=kinds, min_groups=args.min_groups)
+    rendered = report.render(args.format)
+    print(rendered)
+    if args.output is not None:
+        pathlib.Path(args.output).write_text(rendered + "\n",
+                                             encoding="utf-8")
+    return 0 if report.ok else 1
 
 
 _SUBCOMMANDS = {
     "experiment": cmd_experiment,
     "trace": cmd_trace,
     "profile": cmd_profile,
+    "regress": cmd_regress,
 }
 
 

@@ -31,6 +31,11 @@ class MMU:
         #: private)``), wired by the platform's run loop while a
         #: ``mmu.translate`` subscriber is attached; ``None`` otherwise.
         self.probe = None
+        #: Batched observability fast path: the ``mmu.translate`` ring
+        #: buffer's flat data list, wired by the run loop when only
+        #: batch subscribers listen.  One ``append(private)`` per
+        #: translation replaces the full ``probe`` callback.
+        self.probe_ring = None
 
     def translate(self, logical: int) -> tuple[int, int]:
         """Physical (bank, offset) for ``logical``; counts the access mix."""
@@ -41,7 +46,10 @@ class MMU:
         else:
             self.shared_accesses += 1
         bank, offset = self.layout.translate(self.pid, logical)
-        if self.probe is not None:
+        ring = self.probe_ring
+        if ring is not None:
+            ring.append(private)
+        elif self.probe is not None:
             self.probe(self.pid, logical, bank, offset, private)
         return bank, offset
 

@@ -23,11 +23,16 @@ measurement substrate.  It has four layers, each usable on its own:
   records (config hash, git revision, stats digest, wall time, event
   summary) written to ``runs/`` by the CLI and the benchmarks, giving
   every reported number a provenance trail.
+* :mod:`repro.obs.regress` — **regression detection** over those
+  manifests: group records by run identity, compare stats digests
+  across git revisions (and within one revision, for nondeterminism)
+  and render a pass/fail report — the engine behind ``repro regress``.
 
 Nothing in this package imports :mod:`repro.platform`, so the platform
 modules can import the probe bus without cycles.
 """
 
+from repro.errors import ConfigurationError
 from repro.obs.manifest import (
     config_digest,
     git_revision,
@@ -44,11 +49,30 @@ from repro.obs.metrics import (
     ProbeMetrics,
 )
 from repro.obs.perfetto import TraceRecorder
-from repro.obs.probes import EVENTS, ProbeBus
+from repro.obs.probes import (
+    EVENTS,
+    PC_BITS,
+    PC_MASK,
+    EventRing,
+    ProbeBus,
+    pack_cycle_pc,
+    unpack_cycle_pc,
+)
+from repro.obs.regress import (
+    Finding,
+    RegressionReport,
+    run_regression,
+)
 
 __all__ = [
     "EVENTS",
+    "PC_BITS",
+    "PC_MASK",
+    "ConfigurationError",
+    "EventRing",
+    "Finding",
     "ProbeBus",
+    "RegressionReport",
     "Counter",
     "Gauge",
     "Histogram",
@@ -58,7 +82,10 @@ __all__ = [
     "config_digest",
     "git_revision",
     "manifest_record",
+    "pack_cycle_pc",
     "read_manifests",
+    "run_regression",
     "stats_digest",
+    "unpack_cycle_pc",
     "write_manifest",
 ]

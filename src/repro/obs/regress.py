@@ -1,0 +1,316 @@
+"""Cross-revision regression detection over run manifests.
+
+The manifests under ``runs/`` (see :mod:`repro.obs.manifest`) give every
+simulation a stable identity — ``(kind, name, arch, config_hash)`` — and
+a ``stats_digest`` over its full canonical output.  The simulator is
+deterministic, so two runs of the same identity must produce the same
+digest *regardless of when or on which git revision they ran*; the paper
+pipeline has no tolerated drift.  This module turns that invariant into
+a gate:
+
+* **history mode** (default) — scan one manifest directory, group the
+  records by identity, and flag every group whose digest changed, either
+  across git revisions (*drift*: a code change altered the simulated
+  numbers) or within a single revision (*nondeterminism*: the same code
+  produced two different outputs, which is always a bug).
+* **baseline mode** (``--baseline DIR``) — compare the newest record of
+  each identity in the current directory against the newest matching
+  record in a baseline directory (e.g. a CI artifact from ``main``).
+
+Benchmark records are excluded by default: their payloads are wall-clock
+timings, which legitimately differ between runs.
+
+Reports render as text, JSON, or markdown; :func:`run_regression`
+returns a :class:`RegressionReport` whose :attr:`~RegressionReport.ok`
+drives the CLI exit code (``repro regress`` exits non-zero on drift).
+
+Corrupt manifest lines — truncated writes, merge-conflict residue — are
+skipped with a warning instead of aborting: a provenance trail that can
+only be read when perfect would rot immediately.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+from dataclasses import dataclass, field
+
+from repro.obs.manifest import DEFAULT_DIRECTORY, MANIFEST_NAME
+
+#: Record kinds whose digests are expected to be reproducible.
+#: ``benchmark`` records digest timing payloads and are excluded.
+DEFAULT_KINDS = ("experiment", "trace", "profile")
+
+#: ``stats_summary`` fields shown with before/after values when a group
+#: drifts, in display order.
+SUMMARY_FIELDS = ("total_cycles", "total_retired", "total_stall_cycles",
+                  "im_bank_accesses", "dm_bank_accesses", "sync_cycles")
+
+
+def load_records(directory) -> tuple[list[dict], int]:
+    """Read ``manifest.jsonl`` tolerantly.
+
+    Returns ``(records, skipped)`` where ``skipped`` counts lines that
+    were not valid JSON objects; each one is reported on stderr and
+    dropped rather than failing the whole scan.
+    """
+    path = pathlib.Path(directory) / MANIFEST_NAME
+    if not path.is_file():
+        return [], 0
+    records = []
+    skipped = 0
+    for lineno, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            record = None
+        if not isinstance(record, dict):
+            print(f"warning: {path}:{lineno}: skipping corrupt manifest "
+                  f"line", file=sys.stderr)
+            skipped += 1
+            continue
+        records.append(record)
+    return records, skipped
+
+
+def group_key(record: dict) -> tuple:
+    """Identity under which digests must agree."""
+    return (record.get("kind"), record.get("name"), record.get("arch"),
+            record.get("config_hash"))
+
+
+def group_records(records, kinds=DEFAULT_KINDS) -> dict[tuple, list[dict]]:
+    """Group comparable records by identity, oldest first.
+
+    Records without a ``stats_digest`` carry nothing to compare and are
+    dropped, as are kinds outside ``kinds``.
+    """
+    groups: dict[tuple, list[dict]] = {}
+    for record in records:
+        if record.get("kind") not in kinds:
+            continue
+        if not record.get("stats_digest"):
+            continue
+        groups.setdefault(group_key(record), []).append(record)
+    for members in groups.values():
+        members.sort(key=lambda record: record.get("created") or 0.0)
+    return groups
+
+
+def _summary_delta(old: dict | None, new: dict | None) -> dict:
+    """Changed ``stats_summary`` fields as ``name -> (old, new)``."""
+    old = old or {}
+    new = new or {}
+    delta = {}
+    for name in SUMMARY_FIELDS:
+        if old.get(name) != new.get(name):
+            delta[name] = (old.get(name), new.get(name))
+    for name in sorted(set(old) | set(new)):
+        if name not in SUMMARY_FIELDS and old.get(name) != new.get(name):
+            delta[name] = (old.get(name), new.get(name))
+    return delta
+
+
+@dataclass
+class Finding:
+    """One detected digest disagreement within a group."""
+
+    severity: str  # "drift" (across revisions) | "nondeterministic"
+    key: tuple     # (kind, name, arch, config_hash)
+    baseline_rev: str
+    current_rev: str
+    baseline_digest: str
+    current_digest: str
+    summary_delta: dict = field(default_factory=dict)
+
+    @property
+    def label(self) -> str:
+        kind, name, arch, config_hash = self.key
+        where = f"{kind}/{name}"
+        if arch:
+            where += f" [{arch}]"
+        if config_hash:
+            where += f" cfg={config_hash[:10]}"
+        return where
+
+    def describe(self) -> str:
+        if self.severity == "nondeterministic":
+            head = (f"NONDETERMINISTIC {self.label}: two runs at rev "
+                    f"{self.current_rev[:10]} disagree")
+        else:
+            head = (f"DRIFT {self.label}: {self.baseline_rev[:10]} -> "
+                    f"{self.current_rev[:10]}")
+        head += (f" (digest {self.baseline_digest[:10]} != "
+                 f"{self.current_digest[:10]})")
+        for name, (old, new) in self.summary_delta.items():
+            head += f"\n    {name}: {old} -> {new}"
+        return head
+
+    def to_json(self) -> dict:
+        kind, name, arch, config_hash = self.key
+        return {
+            "severity": self.severity,
+            "kind": kind,
+            "name": name,
+            "arch": arch,
+            "config_hash": config_hash,
+            "baseline_rev": self.baseline_rev,
+            "current_rev": self.current_rev,
+            "baseline_digest": self.baseline_digest,
+            "current_digest": self.current_digest,
+            "summary_delta": {key: list(value) for key, value
+                              in self.summary_delta.items()},
+        }
+
+
+@dataclass
+class RegressionReport:
+    """Outcome of one regression scan."""
+
+    mode: str                   # "history" | "baseline"
+    runs_dir: str
+    baseline_dir: str | None
+    groups_checked: int         # identities seen
+    groups_compared: int        # identities with >= 2 records to diff
+    findings: list[Finding]
+    skipped_lines: int
+    min_groups: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return (not self.findings
+                and self.groups_compared >= self.min_groups)
+
+    def to_text(self) -> str:
+        lines = [f"regression scan ({self.mode}): "
+                 f"{self.groups_checked} group(s), "
+                 f"{self.groups_compared} compared, "
+                 f"{len(self.findings)} finding(s)"]
+        if self.skipped_lines:
+            lines.append(f"  {self.skipped_lines} corrupt manifest "
+                         f"line(s) skipped")
+        for finding in self.findings:
+            lines.append(finding.describe())
+        if self.groups_compared < self.min_groups:
+            lines.append(f"FAIL: only {self.groups_compared} comparable "
+                         f"group(s), --min-groups {self.min_groups} "
+                         f"required")
+        lines.append("PASS: no digest drift detected" if self.ok
+                     else "FAIL: regression gate did not pass")
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        return json.dumps({
+            "mode": self.mode,
+            "runs_dir": self.runs_dir,
+            "baseline_dir": self.baseline_dir,
+            "groups_checked": self.groups_checked,
+            "groups_compared": self.groups_compared,
+            "skipped_lines": self.skipped_lines,
+            "min_groups": self.min_groups,
+            "ok": self.ok,
+            "findings": [finding.to_json() for finding in self.findings],
+        }, indent=2, sort_keys=True)
+
+    def to_markdown(self) -> str:
+        status = "PASS" if self.ok else "FAIL"
+        lines = [
+            f"## Regression scan: {status}",
+            "",
+            f"- mode: `{self.mode}`",
+            f"- groups checked / compared: {self.groups_checked} / "
+            f"{self.groups_compared}",
+            f"- corrupt lines skipped: {self.skipped_lines}",
+            "",
+        ]
+        if self.findings:
+            lines += ["| severity | run | baseline rev | current rev | "
+                      "changed fields |",
+                      "|---|---|---|---|---|"]
+            for finding in self.findings:
+                changed = ", ".join(
+                    f"{name} {old}→{new}" for name, (old, new)
+                    in finding.summary_delta.items()) or "(digest only)"
+                lines.append(
+                    f"| {finding.severity} | {finding.label} | "
+                    f"`{finding.baseline_rev[:10]}` | "
+                    f"`{finding.current_rev[:10]}` | {changed} |")
+        else:
+            lines.append("No digest drift detected.")
+        return "\n".join(lines)
+
+    def render(self, fmt: str = "text") -> str:
+        return {"text": self.to_text, "json": self.to_json,
+                "markdown": self.to_markdown}[fmt]()
+
+
+def _compare_history(groups) -> tuple[int, list[Finding]]:
+    """Chronological digest check within each identity group."""
+    compared = 0
+    findings = []
+    for key, members in groups.items():
+        if len(members) < 2:
+            continue
+        compared += 1
+        # Each run is compared to its chronological predecessor: a
+        # mismatch at the same revision is nondeterminism (always a
+        # bug), across revisions it is drift (a code change moved the
+        # numbers).
+        for reference, record in zip(members, members[1:]):
+            if record["stats_digest"] == reference["stats_digest"]:
+                continue
+            ref_rev = reference.get("git_rev") or "unknown"
+            rev = record.get("git_rev") or "unknown"
+            severity = "nondeterministic" if rev == ref_rev else "drift"
+            findings.append(Finding(
+                severity, key, ref_rev, rev,
+                reference["stats_digest"], record["stats_digest"],
+                _summary_delta(reference.get("stats_summary"),
+                               record.get("stats_summary"))))
+    return compared, findings
+
+
+def _compare_baseline(base_groups, cur_groups) -> tuple[int, list[Finding]]:
+    """Newest record per identity, baseline directory vs current."""
+    compared = 0
+    findings = []
+    for key, members in cur_groups.items():
+        base_members = base_groups.get(key)
+        if not base_members:
+            continue  # new identity: nothing to regress against
+        compared += 1
+        base = base_members[-1]
+        current = members[-1]
+        if base["stats_digest"] != current["stats_digest"]:
+            findings.append(Finding(
+                "drift", key,
+                base.get("git_rev") or "unknown",
+                current.get("git_rev") or "unknown",
+                base["stats_digest"], current["stats_digest"],
+                _summary_delta(base.get("stats_summary"),
+                               current.get("stats_summary"))))
+    return compared, findings
+
+
+def run_regression(runs_dir=DEFAULT_DIRECTORY, baseline_dir=None,
+                   kinds=DEFAULT_KINDS,
+                   min_groups: int = 0) -> RegressionReport:
+    """Scan manifests and return the pass/fail report."""
+    records, skipped = load_records(runs_dir)
+    groups = group_records(records, kinds=kinds)
+    if baseline_dir is not None:
+        base_records, base_skipped = load_records(baseline_dir)
+        base_groups = group_records(base_records, kinds=kinds)
+        compared, findings = _compare_baseline(base_groups, groups)
+        return RegressionReport(
+            "baseline", str(runs_dir), str(baseline_dir),
+            len(groups), compared, findings, skipped + base_skipped,
+            min_groups)
+    compared, findings = _compare_history(groups)
+    return RegressionReport(
+        "history", str(runs_dir), None, len(groups), compared, findings,
+        skipped, min_groups)

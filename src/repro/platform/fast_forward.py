@@ -122,7 +122,9 @@ class FastForwardEngine:
         # probed run sees the identical event stream in either execution
         # mode (the trace/metric differential tests enforce this).  All
         # flags are hoisted once per stretch; unprobed runs pay only
-        # these local-boolean checks.
+        # these local-boolean checks.  Hot events take the raw-append
+        # ring fast path (ap_* bound list.append) when the bus grants
+        # it, per-event emit otherwise.
         bus = system.probes
         observing = bus is not None and bus.active
         p_retire = observing and bus.wants("core.retire")
@@ -130,8 +132,33 @@ class FastForwardEngine:
         p_im_bc = observing and bus.wants("im.broadcast")
         p_dm_bc = observing and bus.wants("dm.broadcast")
         p_ff = observing and bus.wants("ff.exit")
-        if observing and bus.wants("ff.enter"):
-            bus.emit("ff.enter", cycle)
+        ap_retire = ap_mmu = ap_im_bc = ap_dm_bc = None
+        mk_retire = rt_data = rt_ring = None
+        emit_retire = emit_mmu = False  # per-event emit() fallbacks
+        seg_stride = 0  # forces a fresh ring mark on the first commit
+        if observing:
+            if p_retire:
+                rt_ring = bus.batch("core.retire")
+                if rt_ring is not None:
+                    ap_retire = rt_ring.data.append
+                    mk_retire = rt_ring.marks.append
+                    rt_data = rt_ring.data
+                else:
+                    emit_retire = True
+            if p_mmu:
+                ring = bus.batch("mmu.translate")
+                if ring is not None:
+                    ap_mmu = ring.data.append
+                else:
+                    emit_mmu = True
+            if p_im_bc:
+                ring = bus.batch("im.broadcast")
+                ap_im_bc = ring.data.append if ring is not None else None
+            if p_dm_bc:
+                ring = bus.batch("dm.broadcast")
+                ap_dm_bc = ring.data.append if ring is not None else None
+            if bus.wants("ff.enter"):
+                bus.emit("ff.enter", cycle)
         entered_at = cycle
 
         # Local stat accumulators, flushed on every exit path.
@@ -147,6 +174,7 @@ class FastForwardEngine:
         mmu_s = [0] * n
 
         run_list = sorted(running)
+        run_cores = [cores[pid] for pid in run_list]
         try:
             while run_list:
                 if cycle >= max_cycles:
@@ -188,17 +216,21 @@ class FastForwardEngine:
                                 layout.translate(pid, ra)  # exact raise
                             rb = cbanks[pid][off // pwb]
                             ro = swb + off % pwb
+                            if ap_mmu is not None:
+                                ap_mmu(True)
                         else:
                             mmu_s[pid] += 1
                             if ra >= shared_words:
                                 layout.translate(pid, ra)  # exact raise
                             rb = ra % dbn
                             ro = ra // dbn
+                            if ap_mmu is not None:
+                                ap_mmu(False)
                         dr_bank[pid] = rb
                         dr_off[pid] = ro
-                        if p_mmu:
-                            bus.emit("mmu.translate", cycle, pid, ra, rb,
-                                     ro, ra >= PRIVATE_BASE)
+                        if emit_mmu:
+                            bus.emit("mmu.translate", cycle, pid, ra,
+                                     rb, ro, ra >= PRIVATE_BASE)
                         dm_count += 1
                         entry = dm_map.get(rb)
                         if entry is None:
@@ -219,17 +251,21 @@ class FastForwardEngine:
                                 layout.translate(pid, wa)  # exact raise
                             wb = cbanks[pid][off // pwb]
                             wo = swb + off % pwb
+                            if ap_mmu is not None:
+                                ap_mmu(True)
                         else:
                             mmu_s[pid] += 1
                             if wa >= shared_words:
                                 layout.translate(pid, wa)  # exact raise
                             wb = wa % dbn
                             wo = wa // dbn
+                            if ap_mmu is not None:
+                                ap_mmu(False)
                         dw_bank[pid] = wb
                         dw_off[pid] = wo
-                        if p_mmu:
-                            bus.emit("mmu.translate", cycle, pid, wa, wb,
-                                     wo, wa >= PRIVATE_BASE)
+                        if emit_mmu:
+                            bus.emit("mmu.translate", cycle, pid, wa,
+                                     wb, wo, wa >= PRIVATE_BASE)
                         dm_count += 1
                         if wb in dm_map:
                             conflict = True  # writes never merge
@@ -298,6 +334,34 @@ class FastForwardEngine:
                 # ---- commit the proven conflict-free cycle ----
                 cycle += 1
                 self.fast_cycles += 1
+                if observing:
+                    if not (cycle & 0x3FFF):
+                        bus.flush()  # bound ring memory on long stretches
+                        seg_stride = 0
+                    if ap_retire is not None:
+                        # Every committed cycle retires exactly the
+                        # n_run cores of run_list, so one mark covers
+                        # the whole segment until n_run (or the
+                        # lockstep/free-running mode) changes.  In
+                        # lockstep all cores share first_pc: store it
+                        # once as a run-length segment (stride -n_run);
+                        # otherwise store each core's pc (stride n_run).
+                        if lockstep:
+                            if seg_stride != -n_run:
+                                mk_retire(cycle - 1)
+                                mk_retire(len(rt_data))
+                                mk_retire(-n_run)
+                                rt_ring.rle = True
+                                seg_stride = -n_run
+                            ap_retire(first_pc)
+                        else:
+                            if seg_stride != n_run:
+                                mk_retire(cycle - 1)
+                                mk_retire(len(rt_data))
+                                mk_retire(n_run)
+                                seg_stride = n_run
+                            for c in run_cores:
+                                ap_retire(c.pc)
                 if lockstep and n_run > 1:
                     sync_cycles += 1
 
@@ -315,7 +379,11 @@ class FastForwardEngine:
                         im_bc += 1
                         im_sv += n_run - 1
                         if p_im_bc:
-                            bus.emit("im.broadcast", cycle - 1, fb, n_run)
+                            if ap_im_bc is not None:
+                                ap_im_bc(n_run)
+                            else:
+                                bus.emit("im.broadcast", cycle - 1,
+                                         fb, n_run)
                     for pid in run_list:
                         last = ilast[pid]
                         if last is not None and last != fb:
@@ -329,8 +397,11 @@ class FastForwardEngine:
                             im_bc += 1
                             im_sv += count - 1
                             if p_im_bc:
-                                bus.emit("im.broadcast", cycle - 1,
-                                         bank_id, count)
+                                if ap_im_bc is not None:
+                                    ap_im_bc(count)
+                                else:
+                                    bus.emit("im.broadcast", cycle - 1,
+                                             bank_id, count)
                     for pid in run_list:
                         bank = im_bank[pid]
                         last = ilast[pid]
@@ -347,13 +418,16 @@ class FastForwardEngine:
                             dm_bc += 1
                             dm_sv += count - 1
                             if p_dm_bc:
-                                bus.emit("dm.broadcast", cycle - 1,
-                                         bank_id, count)
+                                if ap_dm_bc is not None:
+                                    ap_dm_bc(count)
+                                else:
+                                    bus.emit("dm.broadcast", cycle - 1,
+                                             bank_id, count)
 
                 halted_any = False
                 for pid in run_list:
                     core = cores[pid]
-                    if p_retire:
+                    if emit_retire:
                         bus.emit("core.retire", cycle - 1, pid, core.pc)
                     rb = dr_bank[pid]
                     if rb >= 0:
@@ -383,8 +457,12 @@ class FastForwardEngine:
                 if halted_any:
                     run_list = [pid for pid in run_list
                                 if not cores[pid].halted]
+                    run_cores = [cores[pid] for pid in run_list]
             return cycle, sync_cycles
         finally:
+            # No flush here: rings are shared with the cycle-stepped
+            # loop and survive mode transitions; flushing every stretch
+            # would pay the vectorised-drain fixed cost per fallback.
             if p_ff:
                 bus.emit("ff.exit", cycle, cycle - entered_at)
             ix = system.ixbar.stats

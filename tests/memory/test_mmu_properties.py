@@ -1,0 +1,89 @@
+"""Property tests for the PID-based MMU translation (paper Fig. 2).
+
+The MMU's contract is what makes one compiled program image serve all
+eight cores: every core sees the same logical address space, yet private
+data never aliases across PIDs.  Three properties, over random
+geometries and addresses:
+
+* **Private round-trip** — translating a private logical address and
+  reading the (bank, offset) back through the layout's inverse
+  arithmetic recovers the address; no two logical words of one PID
+  share a physical word.
+* **Injectivity across PIDs** — distinct ``(pid, private address)``
+  pairs map to distinct physical words, and each PID's private window
+  stays inside the banks :meth:`DataMemoryLayout.core_banks` assigns
+  to it, disjoint from the shared section.
+* **Shared pass-through** — shared addresses translate identically for
+  every PID (word-interleaved, PID-independent), which is what lets
+  cores exchange data without copies.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory.layout import DataMemoryLayout, PRIVATE_BASE
+from repro.memory.mmu import MMU
+
+# Geometries around the paper's (16 banks x 2048 words, 8 cores,
+# 768-word shared split), constrained to the layout's invariants:
+# banks divide evenly among cores, the split leaves both sections room.
+_GEOMETRIES = st.tuples(
+    st.sampled_from((8, 16, 32)),          # banks
+    st.sampled_from((256, 1024, 2048)),    # words per bank
+    st.sampled_from((64, 128, 768)),       # shared words per bank
+).filter(lambda g: g[2] < g[1]).map(
+    lambda g: DataMemoryLayout(banks=g[0], bank_words=g[1],
+                               shared_words_per_bank=g[2]))
+
+
+@settings(max_examples=60, deadline=None)
+@given(_GEOMETRIES, st.integers(0, 7), st.data())
+def test_private_round_trip(layout, pid, data):
+    """(bank, offset) -> logical inversion recovers every private word."""
+    mmu = MMU(pid=pid, layout=layout)
+    offset = data.draw(st.integers(
+        0, layout.private_words_per_core - 1), label="window offset")
+    logical = PRIVATE_BASE + offset
+    bank, word = mmu.translate(logical)
+    # Invert: which slot of the PID's private section is this?
+    assert bank in layout.core_banks(pid)
+    assert word >= layout.shared_words_per_bank, \
+        "private data must not land in the shared section"
+    bank_index = layout.core_banks(pid).index(bank)
+    recovered = PRIVATE_BASE \
+        + bank_index * layout.private_words_per_bank \
+        + (word - layout.shared_words_per_bank)
+    assert recovered == logical
+
+
+@settings(max_examples=60, deadline=None)
+@given(_GEOMETRIES, st.data())
+def test_private_translation_injective_across_pids(layout, data):
+    """Distinct (pid, private address) pairs never collide physically."""
+    n_addresses = data.draw(st.integers(1, 24), label="sample size")
+    addresses = data.draw(st.lists(
+        st.integers(0, layout.private_words_per_core - 1),
+        min_size=n_addresses, max_size=n_addresses, unique=True),
+        label="window offsets")
+    seen = {}
+    for pid in range(layout.n_cores):
+        mmu = MMU(pid=pid, layout=layout)
+        for offset in addresses:
+            physical = mmu.translate(PRIVATE_BASE + offset)
+            key = (pid, offset)
+            assert physical not in seen, \
+                f"{key} aliases {seen[physical]} at {physical}"
+            seen[physical] = key
+            assert physical[0] in layout.core_banks(pid)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_GEOMETRIES, st.data())
+def test_shared_translation_identical_across_pids(layout, data):
+    """The shared window is PID-independent and word-interleaved."""
+    logical = data.draw(st.integers(0, layout.shared_words - 1),
+                        label="shared address")
+    translations = {MMU(pid=pid, layout=layout).translate(logical)
+                    for pid in range(layout.n_cores)}
+    assert translations == {(logical % layout.banks,
+                             logical // layout.banks)}

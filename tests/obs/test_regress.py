@@ -1,0 +1,180 @@
+"""Regression gate over run manifests: fixture-driven behaviour tests.
+
+Synthesised ``manifest.jsonl`` fixtures (no simulation involved) pin
+down the gate's contract: identical digests pass, cross-revision drift
+fails with the changed summary fields named, same-revision divergence
+is flagged as nondeterminism, corrupt lines are skipped with a warning
+instead of aborting the scan, and the CLI exit code follows the
+verdict.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.obs import run_regression
+from repro.obs.regress import load_records
+
+
+def _record(name="bench", arch="ulpmc-int", config_hash="cfg-a",
+            git_rev="rev-1", digest="digest-1", created=1000.0,
+            kind="profile", cycles=8000):
+    return {
+        "kind": kind, "name": name, "arch": arch,
+        "config_hash": config_hash, "git_rev": git_rev,
+        "stats_digest": digest,
+        "stats_summary": {"total_cycles": cycles},
+        "created": created,
+    }
+
+
+def _write(directory, records, raw_lines=()):
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / "manifest.jsonl"
+    lines = [json.dumps(record) for record in records]
+    lines += list(raw_lines)
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return directory
+
+
+def test_identical_reruns_pass(tmp_path):
+    runs = _write(tmp_path / "runs", [
+        _record(created=1.0),
+        _record(created=2.0),
+        _record(created=3.0, git_rev="rev-2"),  # new rev, same digest
+    ])
+    report = run_regression(runs, min_groups=1)
+    assert report.ok
+    assert report.groups_compared == 1
+    assert not report.findings
+    assert "PASS" in report.to_text()
+
+
+def test_cross_revision_drift_fails(tmp_path):
+    runs = _write(tmp_path / "runs", [
+        _record(created=1.0),
+        _record(created=2.0, git_rev="rev-2", digest="digest-2",
+                cycles=8017),
+    ])
+    report = run_regression(runs)
+    assert not report.ok
+    (finding,) = report.findings
+    assert finding.severity == "drift"
+    assert finding.baseline_rev == "rev-1"
+    assert finding.current_rev == "rev-2"
+    assert finding.summary_delta == {"total_cycles": (8000, 8017)}
+    assert "total_cycles: 8000 -> 8017" in report.to_text()
+
+
+def test_same_revision_divergence_is_nondeterminism(tmp_path):
+    runs = _write(tmp_path / "runs", [
+        _record(created=1.0),
+        _record(created=2.0, digest="digest-2"),
+    ])
+    report = run_regression(runs)
+    assert not report.ok
+    (finding,) = report.findings
+    assert finding.severity == "nondeterministic"
+
+
+def test_different_identities_never_compared(tmp_path):
+    # Same name but different arch / config hash: distinct groups.
+    runs = _write(tmp_path / "runs", [
+        _record(created=1.0),
+        _record(created=2.0, arch="mc-ref", digest="digest-2"),
+        _record(created=3.0, config_hash="cfg-b", digest="digest-3"),
+    ])
+    report = run_regression(runs)
+    assert report.ok
+    assert report.groups_checked == 3
+    assert report.groups_compared == 0
+
+
+def test_corrupt_lines_skipped_with_warning(tmp_path, capsys):
+    runs = _write(tmp_path / "runs",
+                  [_record(created=1.0), _record(created=2.0)],
+                  raw_lines=["{truncated", '"a bare string"', "[1, 2]"])
+    records, skipped = load_records(runs)
+    assert len(records) == 2
+    assert skipped == 3
+    assert capsys.readouterr().err.count("skipping corrupt") == 3
+    report = run_regression(runs, min_groups=1)
+    assert report.ok
+    assert report.skipped_lines == 3
+
+
+def test_benchmark_records_excluded_by_default(tmp_path):
+    runs = _write(tmp_path / "runs", [
+        _record(created=1.0, kind="benchmark"),
+        _record(created=2.0, kind="benchmark", digest="digest-2"),
+    ])
+    assert run_regression(runs).groups_checked == 0
+    assert not run_regression(runs, kinds=("benchmark",)).ok
+
+
+def test_min_groups_guards_vacuous_pass(tmp_path):
+    runs = _write(tmp_path / "runs", [_record()])
+    assert run_regression(runs).ok  # nothing to compare, no floor
+    report = run_regression(runs, min_groups=1)
+    assert not report.ok
+    assert "--min-groups" in report.to_text()
+
+
+def test_baseline_mode_compares_newest_per_identity(tmp_path):
+    base = _write(tmp_path / "base", [
+        _record(created=1.0, digest="digest-old"),
+        _record(created=2.0),  # newest baseline record wins
+    ])
+    current = _write(tmp_path / "cur", [
+        _record(created=3.0, git_rev="rev-2"),
+        _record(name="other", created=3.0),  # no baseline: skipped
+    ])
+    report = run_regression(current, baseline_dir=base)
+    assert report.mode == "baseline"
+    assert report.groups_compared == 1
+    assert report.ok
+    drifted = _write(tmp_path / "cur2", [
+        _record(created=3.0, git_rev="rev-2", digest="digest-2")])
+    assert not run_regression(drifted, baseline_dir=base).ok
+
+
+def test_report_formats_round_trip(tmp_path):
+    runs = _write(tmp_path / "runs", [
+        _record(created=1.0),
+        _record(created=2.0, git_rev="rev-2", digest="digest-2",
+                cycles=8017),
+    ])
+    report = run_regression(runs)
+    parsed = json.loads(report.to_json())
+    assert parsed["ok"] is False
+    assert parsed["findings"][0]["severity"] == "drift"
+    assert parsed["findings"][0]["summary_delta"] == {
+        "total_cycles": [8000, 8017]}
+    markdown = report.to_markdown()
+    assert "FAIL" in markdown
+    assert "total_cycles 8000→8017" in markdown
+    with pytest.raises(KeyError):
+        report.render("yaml")
+
+
+def test_cli_exit_codes_and_output_file(tmp_path, capsys):
+    runs = _write(tmp_path / "runs", [
+        _record(created=1.0), _record(created=2.0)])
+    out = tmp_path / "report.md"
+    assert cli_main(["regress", "--runs-dir", str(runs), "--min-groups",
+                     "1", "--format", "markdown", "--output",
+                     str(out)]) == 0
+    assert "PASS" in out.read_text(encoding="utf-8")
+    capsys.readouterr()
+    drifted = _write(tmp_path / "runs2", [
+        _record(created=1.0),
+        _record(created=2.0, git_rev="rev-2", digest="digest-2")])
+    assert cli_main(["regress", "--runs-dir", str(drifted)]) == 1
+    assert "DRIFT" in capsys.readouterr().out
+
+
+def test_missing_directory_is_empty_not_fatal(tmp_path):
+    report = run_regression(tmp_path / "nowhere")
+    assert report.ok
+    assert report.groups_checked == 0

@@ -1,0 +1,123 @@
+"""Fuzz differential: 50 random programs, exact vs fast-forward.
+
+The fast-forward engine's bit-identity promise covers more than the
+architectural state the older differential suite checks — the *probe
+event stream* must also be indistinguishable, because every metric,
+trace and manifest digest is derived from it.  Each seeded
+constrained-random program (full ISA surface) runs once per mode with
+
+* per-event subscribers on every comparable event (which forces both
+  modes onto the ``emit()`` fallback paths), and
+* the batched metrics collector attached on the same bus,
+
+and the test asserts equal registers, memory, ``SimulationStats``,
+metric snapshots, and per-cycle-sorted event streams.  ``ff.enter`` /
+``ff.exit`` are excluded: they describe the engine's own mode
+transitions, which the exact loop by definition never emits.
+
+A second pass re-runs a slice of the corpus with *only* the batched
+collector attached, so the raw ring-buffer fast paths (no ``emit()``
+involved at all) get the same fuzz coverage.
+"""
+
+import dataclasses
+import random
+
+import pytest
+
+from repro.memory.layout import PRIVATE_BASE
+from repro.obs import EVENTS, ProbeMetrics
+from repro.platform import ARCH_NAMES, Benchmark, build_platform
+from repro.tamarisc.program import DataImage
+from repro.tamarisc.regression import SANDBOX_WORDS, generate_random_program
+
+#: ff.* events announce fast-forward engine transitions; the exact loop
+#: never emits them, so they are not part of the identity contract.
+COMPARABLE_EVENTS = sorted(EVENTS - {"ff.enter", "ff.exit"})
+
+FUZZ_SEEDS = range(50)
+
+
+def fuzz_benchmark(seed: int) -> Benchmark:
+    """Full-coverage random program plus a seeded private sandbox."""
+    program = generate_random_program(seed, length=40, full_coverage=True)
+    rng = random.Random(seed)
+    sandbox = [rng.randrange(0x10000) for __ in range(SANDBOX_WORDS)]
+    data = DataImage()
+    for pid in range(8):
+        data.set_private_block(pid, PRIVATE_BASE, sandbox)
+    return Benchmark(f"fuzz-{seed}", program, data)
+
+
+def run_observed(arch: str, benchmark: Benchmark, fast_forward: bool,
+                 capture_events: bool = True):
+    """One observed run; returns (result, metrics snapshot, streams)."""
+    system = build_platform(arch, fast_forward=fast_forward)
+    bus = system.probe_bus()
+    streams = None
+    if capture_events:
+        streams = {name: [] for name in COMPARABLE_EVENTS}
+        for name in COMPARABLE_EVENTS:
+            bus.subscribe(name,
+                          lambda *args, _rec=streams[name].append:
+                          _rec(args))
+    metrics = ProbeMetrics.attach(bus)
+    result = system.run(benchmark)
+    mismatches = metrics.verify_against(result.stats)
+    assert not mismatches, f"probe/stats reconciliation: {mismatches}"
+    if streams is not None:
+        for stream in streams.values():
+            stream.sort()  # per-cycle order is not part of the contract
+    snapshot = {name: value for name, value
+                in metrics.registry.snapshot().items()
+                if not name.startswith("probe.ff_")}  # engine-only
+    return result, snapshot, streams
+
+
+def assert_state_identical(slow, fast):
+    for field in dataclasses.fields(slow.stats):
+        assert getattr(slow.stats, field.name) \
+            == getattr(fast.stats, field.name), \
+            f"stats field {field.name!r} diverged"
+    for pid, (ref, ffw) in enumerate(zip(slow.system.cores,
+                                         fast.system.cores)):
+        assert ref.regs == ffw.regs, f"core {pid} registers"
+        assert ref.pc == ffw.pc, f"core {pid} PC"
+        assert ref.halted == ffw.halted, f"core {pid} halt state"
+    for bank, (ref, ffw) in enumerate(zip(slow.system.dmem.banks,
+                                          fast.system.dmem.banks)):
+        assert ref.storage == ffw.storage, f"DM bank {bank} image"
+
+
+@pytest.mark.parametrize("seed", FUZZ_SEEDS)
+def test_fuzz_event_stream_identity(seed):
+    """State, metrics and sorted event streams agree across modes."""
+    arch = ARCH_NAMES[seed % len(ARCH_NAMES)]
+    benchmark = fuzz_benchmark(seed)
+    slow, slow_snap, slow_events = run_observed(
+        arch, benchmark, fast_forward=False)
+    fast, fast_snap, fast_events = run_observed(
+        arch, benchmark, fast_forward=True)
+    assert_state_identical(slow, fast)
+    assert slow_snap == fast_snap, "metric registries diverged"
+    for name in COMPARABLE_EVENTS:
+        assert slow_events[name] == fast_events[name], \
+            f"{name} event stream diverged (seed {seed}, {arch})"
+
+
+@pytest.mark.parametrize("arch", ARCH_NAMES)
+@pytest.mark.parametrize("seed", range(0, 50, 10))
+def test_fuzz_batched_ring_identity(arch, seed):
+    """Ring-only delivery (no per-event subscribers) across modes.
+
+    Without per-event subscribers the emitters write straight into the
+    typed ring buffers, so this pass fuzzes the zero-allocation fast
+    paths the stream test above bypasses.
+    """
+    benchmark = fuzz_benchmark(seed)
+    slow, slow_snap, _ = run_observed(
+        arch, benchmark, fast_forward=False, capture_events=False)
+    fast, fast_snap, _ = run_observed(
+        arch, benchmark, fast_forward=True, capture_events=False)
+    assert_state_identical(slow, fast)
+    assert slow_snap == fast_snap, "metric registries diverged"
