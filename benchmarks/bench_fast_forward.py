@@ -1,21 +1,31 @@
 """Measures the fast-forward speedup on the 8-lead ECG compression workload.
 
-Runs the full CS+Huffman benchmark through the cycle-stepped reference
-loop and through the conflict-free fast-forward mode on each platform,
-verifies the outputs and every ``SimulationStats`` field are
-bit-identical, and reports the wall-clock speedup.  The conflict-free
-mc-ref configuration is the acceptance gate: the fast path must be at
-least 3x faster there.
+Runs the full CS+Huffman benchmark through three execution modes on each
+platform — the cycle-stepped reference loop, the per-instruction
+fast-forward mode and the fast-forward mode with its translation-block
+layer — verifies the outputs and every ``SimulationStats`` field are
+bit-identical across all three, and reports the wall-clock speedups.
+
+Each run can be recorded as a ``bench_fast_forward/1`` JSON document
+(``--json``), giving the repo a tracked speed trajectory: CI writes the
+quick-geometry record as an artifact and compares its speedups against
+the committed baseline in ``benchmarks/baselines/BENCH_fast_forward.json``
+(``--check``), failing on a >20% regression.  Speedup *ratios* rather
+than raw seconds are compared, so the gate transfers across machines.
 
 Usable both as a pytest-benchmark module and as a script::
 
-    python benchmarks/bench_fast_forward.py            # full workload
-    python benchmarks/bench_fast_forward.py --quick    # CI smoke run
+    python benchmarks/bench_fast_forward.py              # full workload
+    python benchmarks/bench_fast_forward.py --quick      # CI smoke run
+    python benchmarks/bench_fast_forward.py --quick \\
+        --json BENCH_fast_forward.json \\
+        --check benchmarks/baselines/BENCH_fast_forward.json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import pathlib
 import sys
 import time
@@ -25,56 +35,144 @@ if _SRC.is_dir() and str(_SRC) not in sys.path:  # direct script invocation
     sys.path.insert(0, str(_SRC))
 
 from repro.kernels import BenchmarkSpec, build_benchmark, verify_result
+from repro.obs import git_revision, stats_digest
 from repro.platform import ARCH_NAMES, build_platform
 
-#: Wall-clock speedup the fast path must reach on conflict-free mc-ref.
+#: Record format version for the JSON trajectory documents.
+SCHEMA = "bench_fast_forward/1"
+
+#: Wall-clock speedup the per-instruction fast path must reach over the
+#: cycle-stepped loop on conflict-free mc-ref (full workload only).
 TARGET_SPEEDUP = 3.0
 
+#: A checked run fails when a gated speedup drops below this fraction
+#: of the committed baseline's speedup (>20% regression).
+CHECK_FRACTION = 0.8
 
-def compare_modes(arch: str, built) -> dict:
-    """Run one architecture in both modes; verify equality; time both."""
-    t0 = time.perf_counter()
-    slow = build_platform(arch, fast_forward=False).run(built.benchmark)
-    t1 = time.perf_counter()
-    fast_system = build_platform(arch, fast_forward=True)
-    t2 = time.perf_counter()
-    fast = fast_system.run(built.benchmark)
-    t3 = time.perf_counter()
+#: Architectures the baseline gate applies to.  Only conflict-free
+#: mc-ref is gated: the banked configurations take hundreds of
+#: arbitration fallbacks on this workload, which makes their quick-run
+#: wall clock too noisy for a 20% gate (their rows are still recorded
+#: in the trajectory for human inspection).
+CHECK_ARCHES = ("mc-ref",)
 
-    verify_result(built, fast)
-    if slow.stats != fast.stats:
+#: Default location of the committed quick-geometry baseline.
+BASELINE_PATH = pathlib.Path(__file__).resolve().parent / "baselines" \
+    / "BENCH_fast_forward.json"
+
+
+def _timed(factory, benchmark, reps: int):
+    """Best-of-``reps`` wall time; returns (seconds, system, result)."""
+    best = None
+    for __ in range(max(1, reps)):
+        system = factory()
+        t0 = time.perf_counter()
+        result = system.run(benchmark)
+        elapsed = time.perf_counter() - t0
+        if best is None or elapsed < best[0]:
+            best = (elapsed, system, result)
+    return best
+
+
+def _assert_stats_equal(arch: str, mode: str, ref, other) -> None:
+    if ref.stats != other.stats:
         raise AssertionError(
-            f"{arch}: fast-forward statistics diverged from the "
-            "cycle-stepped reference")
-    engine = fast_system._ff_engine
+            f"{arch}: {mode} statistics diverged from the cycle-stepped "
+            "reference")
+
+
+def compare_modes(arch: str, built, reps: int = 1) -> dict:
+    """Run one architecture in all three modes; verify; time each."""
+    benchmark = built.benchmark
+    # the exact loop dominates wall time: cap its repetitions, but keep
+    # best-of timing so the speedup ratios are stable under load
+    exact_s, __, exact = _timed(
+        lambda: build_platform(arch, fast_forward=False), benchmark,
+        min(reps, 3))
+    ff_s, __, ff = _timed(
+        lambda: build_platform(arch, fast_forward=True,
+                               translation_blocks=False), benchmark, reps)
+    blocks_s, blocks_system, blocks = _timed(
+        lambda: build_platform(arch, fast_forward=True,
+                               translation_blocks=True), benchmark, reps)
+
+    for mode, result in (("fast-forward", ff), ("translation-block",
+                                                blocks)):
+        verify_result(built, result)
+        _assert_stats_equal(arch, mode, exact, result)
+    digest = stats_digest(exact.stats)
+    assert digest == stats_digest(ff.stats) == stats_digest(blocks.stats)
+
+    engine = blocks_system._ff_engine
+    summary = engine.block_summary()
     return {
         "arch": arch,
-        "slow_s": t1 - t0,
-        "fast_s": t3 - t2,
-        "speedup": (t1 - t0) / (t3 - t2),
-        "cycles": fast.stats.total_cycles,
-        "fast_cycles": engine.fast_cycles,
+        "exact_s": exact_s,
+        "ff_s": ff_s,
+        "blocks_s": blocks_s,
+        "speedup_blocks_vs_exact": exact_s / blocks_s,
+        "speedup_blocks_vs_ff": ff_s / blocks_s,
+        "speedup_ff_vs_exact": exact_s / ff_s,
+        "cycles": blocks.stats.total_cycles,
         "fallbacks": engine.fallbacks,
+        "block_entries": summary["entries"],
+        "blocks_compiled": summary["compiled"],
+        "block_hit_rate": summary["hit_rate"],
+        "block_cycles": summary["block_cycles"],
+        "lockstep_fraction": summary["lockstep_fraction"],
+        "traces": summary["traces"],
+        "trace_entries": summary["trace_entries"],
+        "trace_cycles": summary["trace_cycles"],
+        "stats_digest": digest,
     }
 
 
-def run_comparison(spec: BenchmarkSpec) -> list[dict]:
+def run_comparison(spec: BenchmarkSpec, reps: int = 1) -> list[dict]:
     built = build_benchmark(spec)
-    return [compare_modes(arch, built) for arch in ARCH_NAMES]
+    return [compare_modes(arch, built, reps) for arch in ARCH_NAMES]
+
+
+def make_record(rows: list[dict], quick: bool) -> dict:
+    return {
+        "schema": SCHEMA,
+        "quick": quick,
+        "git_rev": git_revision(),
+        "rows": rows,
+    }
 
 
 def report(rows: list[dict]) -> None:
-    print(f"{'arch':<11} {'slow [s]':>9} {'fast [s]':>9} {'speedup':>8} "
-          f"{'fast cyc':>9} {'cycles':>8} {'fallbacks':>9}")
+    print(f"{'arch':<11} {'exact [s]':>9} {'ff [s]':>8} {'blocks [s]':>10} "
+          f"{'x exact':>8} {'x ff':>6} {'lockstep':>8} {'traces':>6} "
+          f"{'fallbacks':>9}")
     for row in rows:
-        print(f"{row['arch']:<11} {row['slow_s']:>9.3f} "
-              f"{row['fast_s']:>9.3f} {row['speedup']:>7.2f}x "
-              f"{row['fast_cycles']:>9} {row['cycles']:>8} "
+        print(f"{row['arch']:<11} {row['exact_s']:>9.3f} "
+              f"{row['ff_s']:>8.3f} {row['blocks_s']:>10.3f} "
+              f"{row['speedup_blocks_vs_exact']:>7.2f}x "
+              f"{row['speedup_blocks_vs_ff']:>5.2f}x "
+              f"{row['lockstep_fraction']:>8.2f} {row['traces']:>6} "
               f"{row['fallbacks']:>9}")
 
 
+def check_against_baseline(record: dict, baseline: dict) -> list[str]:
+    """Speedup-trajectory gate: >20% regression per arch/metric fails."""
+    failures = []
+    base_rows = {row["arch"]: row for row in baseline.get("rows", [])}
+    for row in record["rows"]:
+        base = base_rows.get(row["arch"])
+        if base is None or row["arch"] not in CHECK_ARCHES:
+            continue
+        for metric in ("speedup_blocks_vs_exact", "speedup_blocks_vs_ff"):
+            floor = base[metric] * CHECK_FRACTION
+            if row[metric] < floor:
+                failures.append(
+                    f"{row['arch']}: {metric} {row[metric]:.2f}x is below "
+                    f"{CHECK_FRACTION:.0%} of baseline {base[metric]:.2f}x")
+    return failures
+
+
 def test_fast_forward_speedup(benchmark):
-    """pytest-benchmark entry: times the fast mode on mc-ref."""
+    """pytest-benchmark entry: times the block-enabled mode on mc-ref."""
     built = build_benchmark(BenchmarkSpec(n_samples=128, n_measurements=64,
                                           huffman_private=True))
     row = compare_modes("mc-ref", built)
@@ -92,9 +190,18 @@ def test_fast_forward_speedup(benchmark):
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
-        description="fast-forward vs cycle-stepped wall-clock comparison")
+        description="three-way fast-forward wall-clock comparison")
     parser.add_argument("--quick", action="store_true",
                         help="small-geometry smoke run (for CI)")
+    parser.add_argument("--reps", type=int, default=None,
+                        help="best-of repetitions for the fast modes "
+                             "(default: 5 quick, 1 full)")
+    parser.add_argument("--json", type=pathlib.Path, metavar="PATH",
+                        help="write the bench_fast_forward/1 record here")
+    parser.add_argument("--check", type=pathlib.Path, metavar="BASELINE",
+                        nargs="?", const=BASELINE_PATH,
+                        help="fail if any speedup regresses >20%% vs this "
+                             f"baseline record (default {BASELINE_PATH})")
     args = parser.parse_args(argv)
 
     if args.quick:
@@ -102,17 +209,53 @@ def main(argv=None) -> int:
                              huffman_private=True)
     else:
         spec = BenchmarkSpec(huffman_private=True)
-    rows = run_comparison(spec)
+    reps = args.reps if args.reps is not None else (5 if args.quick else 1)
+    rows = run_comparison(spec, reps)
     report(rows)
+    record = make_record(rows, args.quick)
+
+    if args.json:
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        with args.json.open("w", encoding="utf-8") as handle:
+            json.dump(record, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+
+    status = 0
+    if args.check:
+        with args.check.open(encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        if baseline.get("schema") != SCHEMA:
+            print(f"FAIL: baseline {args.check} has schema "
+                  f"{baseline.get('schema')!r}, expected {SCHEMA!r}",
+                  file=sys.stderr)
+            return 1
+        if baseline.get("quick") != record["quick"]:
+            print(f"FAIL: baseline {args.check} was recorded with "
+                  f"quick={baseline.get('quick')}; this run used "
+                  f"quick={record['quick']} — speedups are only "
+                  "comparable at matching geometry", file=sys.stderr)
+            return 1
+        failures = check_against_baseline(record, baseline)
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        if failures:
+            status = 1
+        else:
+            print(f"OK: speedups within {CHECK_FRACTION:.0%} of baseline "
+                  f"{args.check}")
 
     mc_ref = next(row for row in rows if row["arch"] == "mc-ref")
-    if not args.quick and mc_ref["speedup"] < TARGET_SPEEDUP:
-        print(f"FAIL: mc-ref speedup {mc_ref['speedup']:.2f}x is below "
-              f"the {TARGET_SPEEDUP}x target", file=sys.stderr)
+    if not args.quick \
+            and mc_ref["speedup_ff_vs_exact"] < TARGET_SPEEDUP:
+        print(f"FAIL: mc-ref fast-forward speedup "
+              f"{mc_ref['speedup_ff_vs_exact']:.2f}x is below the "
+              f"{TARGET_SPEEDUP}x target", file=sys.stderr)
         return 1
-    print(f"OK: results bit-identical in both modes; mc-ref speedup "
-          f"{mc_ref['speedup']:.2f}x")
-    return 0
+    print(f"OK: results bit-identical in all three modes; mc-ref blocks "
+          f"{mc_ref['speedup_blocks_vs_exact']:.2f}x vs exact, "
+          f"{mc_ref['speedup_blocks_vs_ff']:.2f}x vs fast-forward")
+    return status
 
 
 if __name__ == "__main__":

@@ -41,6 +41,11 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "--fast-forward", action="store_true",
         help="batch-commit provably conflict-free simulator cycles "
              "(bit-identical results, several times faster)")
+    parser.add_argument(
+        "--no-blocks", action="store_true",
+        help="disable the basic-block translation cache inside the "
+             "fast-forward engine (escape hatch; per-instruction "
+             "dispatch is slower but bit-identical)")
     parser.add_argument("--runs-dir", metavar="DIR", default="runs",
                         help="run-manifest directory (default: runs/)")
     parser.add_argument("--no-manifest", action="store_true",
@@ -82,6 +87,13 @@ def _arches(name: str) -> list[str]:
     return list(ARCH_NAMES) if name == "all" else [name]
 
 
+def _block_summary(system):
+    """Translation-block statistics of a finished run (None if the
+    fast-forward engine never attached)."""
+    engine = getattr(system, "_ff_engine", None)
+    return engine.block_summary() if engine is not None else None
+
+
 def _built_benchmark(args):
     from repro.kernels import BenchmarkSpec, build_benchmark
     spec = BenchmarkSpec(n_samples=args.samples,
@@ -105,6 +117,11 @@ def cmd_experiment(argv) -> int:
         "--fast-forward", action="store_true",
         help="batch-commit provably conflict-free simulator cycles "
              "(bit-identical results, several times faster)")
+    parser.add_argument(
+        "--no-blocks", action="store_true",
+        help="disable the basic-block translation cache inside the "
+             "fast-forward engine (escape hatch; per-instruction "
+             "dispatch is slower but bit-identical)")
     parser.add_argument("--runs-dir", metavar="DIR", default="runs",
                         help="run-manifest directory (default: runs/)")
     parser.add_argument("--no-manifest", action="store_true",
@@ -114,6 +131,9 @@ def cmd_experiment(argv) -> int:
     if args.fast_forward:
         from repro.platform import set_default_fast_forward
         set_default_fast_forward(True)
+    if args.no_blocks:
+        from repro.platform import set_default_translation_blocks
+        set_default_translation_blocks(False)
 
     requested = list(EXPERIMENTS) if "all" in args.experiments \
         else args.experiments
@@ -141,6 +161,7 @@ def cmd_experiment(argv) -> int:
                 "experiment", name, payload=result.to_csv(),
                 wall_time_s=wall,
                 extra={"fast_forward": args.fast_forward,
+                       "translation_blocks": not args.no_blocks,
                        "max_relative_error": result.max_relative_error()},
             ), directory=args.runs_dir)
     return 0
@@ -166,7 +187,8 @@ def cmd_trace(argv) -> int:
     built = _built_benchmark(args)
     for arch in _arches(args.arch):
         started = time.perf_counter()
-        system = build_platform(arch, fast_forward=args.fast_forward)
+        system = build_platform(arch, fast_forward=args.fast_forward,
+                                translation_blocks=not args.no_blocks)
         bus = system.probe_bus()
         sampled = _apply_sampling(bus, parser, args.sample)
         recorder = TraceRecorder.attach(system)
@@ -195,6 +217,8 @@ def cmd_trace(argv) -> int:
                 wall_time_s=wall,
                 extra={"trace_file": str(path),
                        "fast_forward": args.fast_forward,
+                       "translation_blocks": not args.no_blocks,
+                       "blocks": _block_summary(system),
                        "sampling": dict(
                            pair.partition("=")[::2]
                            for pair in args.sample) or None},
@@ -223,7 +247,8 @@ def cmd_profile(argv) -> int:
     built = _built_benchmark(args)
     for arch in _arches(args.arch):
         started = time.perf_counter()
-        system = build_platform(arch, fast_forward=args.fast_forward)
+        system = build_platform(arch, fast_forward=args.fast_forward,
+                                translation_blocks=not args.no_blocks)
         bus = system.probe_bus()
         sampled = _apply_sampling(bus, parser, args.sample)
         metrics = ProbeMetrics.attach(bus, batched=not args.unbatched)
@@ -251,6 +276,8 @@ def cmd_profile(argv) -> int:
                 config=system.config, stats=result.stats,
                 event_summary=registry.snapshot(), wall_time_s=wall,
                 extra={"fast_forward": args.fast_forward,
+                       "translation_blocks": not args.no_blocks,
+                       "blocks": _block_summary(system),
                        "batched": not args.unbatched},
             ), directory=args.runs_dir)
     return 0

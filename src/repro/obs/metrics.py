@@ -238,6 +238,13 @@ class ProbeMetrics:
             "probe.ff_stretches", "fast-forward stretches (>= 1 cycle)")
         self.ff_cycles = reg.counter(
             "probe.ff_cycles", "cycles batch-committed by fast-forward")
+        self.ff_block_entries = reg.counter(
+            "probe.ff_block_entries", "translation-block executions")
+        self.ff_block_compiles = reg.counter(
+            "probe.ff_block_compiles", "translation blocks compiled")
+        self.ff_block_cycles = reg.counter(
+            "probe.ff_block_cycles",
+            "cycles committed via translation blocks")
         self.blocks = reg.counter(
             "probe.blocks_done", "streamed blocks completed")
         self.sync_groups = reg.histogram(
@@ -279,6 +286,7 @@ class ProbeMetrics:
         if batched:
             self._handlers = {
                 "ff.exit": self._on_ff_exit,
+                "ff.block": self._on_ff_block,
                 "block.done": self._on_block,
             }
             self._batch_handlers = {
@@ -303,6 +311,7 @@ class ProbeMetrics:
                 "dm.broadcast": self._on_dm_broadcast,
                 "mmu.translate": self._on_translate,
                 "ff.exit": self._on_ff_exit,
+                "ff.block": self._on_ff_block,
                 "block.done": self._on_block,
             }
             self._batch_handlers = {}
@@ -389,6 +398,11 @@ class ProbeMetrics:
         if fast_cycles:
             self.ff_stretches.inc()
             self.ff_cycles.inc(fast_cycles)
+
+    def _on_ff_block(self, cycle, entries, compiled, block_cycles) -> None:
+        self.ff_block_entries.inc(entries)
+        self.ff_block_compiles.inc(compiled)
+        self.ff_block_cycles.inc(block_cycles)
 
     def _on_block(self, index, stats) -> None:
         self.blocks.inc()

@@ -69,6 +69,10 @@ event              callback signature
 ``ff.exit``        ``(cycle, fast_cycles)`` — the engine hands back after
                    batch-committing ``fast_cycles`` cycles (0 = immediate
                    fallback)
+``ff.block``       ``(cycle, entries, compiled, block_cycles)`` — one
+                   fast-forward stretch used the translation-block layer:
+                   ``entries`` block executions (``compiled`` of them
+                   newly translated) covering ``block_cycles`` cycles
 ``block.done``     ``(index, stats)`` — the streaming driver finished and
                    verified block ``index``
 =================  ============================================================
@@ -93,6 +97,7 @@ EVENTS = frozenset({
     "mmu.translate",
     "ff.enter",
     "ff.exit",
+    "ff.block",
     "block.done",
 })
 

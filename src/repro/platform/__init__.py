@@ -26,6 +26,7 @@ from repro.platform.multicore import (
     SimulationResult,
     build_platform,
     set_default_fast_forward,
+    set_default_translation_blocks,
 )
 from repro.platform.stats import SimulationStats
 from repro.platform.streaming import StreamReport, run_stream
@@ -52,5 +53,6 @@ __all__ = [
     "SimulationResult",
     "build_platform",
     "set_default_fast_forward",
+    "set_default_translation_blocks",
     "SimulationStats",
 ]

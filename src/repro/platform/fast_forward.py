@@ -44,12 +44,36 @@ from __future__ import annotations
 
 from repro.errors import SimulationError
 from repro.memory.layout import IMOrganization, PRIVATE_BASE
+from repro.tamarisc import blocks as tblocks
+
+#: Sentinel distinguishing "no cached verdict" from "block unusable".
+_UNSET = object()
+
+#: Block entries at one PC before the engine attempts to grow a loop
+#: trace from there (also the retry cadence while profile data is still
+#: too thin).  Tests lower it to exercise the trace layer on tiny runs.
+TRACE_ENTRY_THRESHOLD = 64
+
+#: Minimum observations of a successor edge before a trace may cross
+#: it.  Loops that flaky would thrash (build, bail, rebuild).
+TRACE_MIN_EDGE = 24
+
+#: Anchor coverage: the (up to two) arms leaving the anchor must carry
+#: at least 15/16 of its observed exits.
+TRACE_SPLIT_NUM, TRACE_SPLIT_DEN = 15, 16
+
+#: Chain dominance: inside an arm each block's followed successor must
+#: carry at least 7/8 of that block's observed exits (loop exits taken
+#: roughly every dozen iterations still leave a large win; the bailed
+#: iteration is rolled back and replayed exactly).
+TRACE_CHAIN_NUM, TRACE_CHAIN_DEN = 7, 8
 
 
 class FastForwardEngine:
     """Batch-commits provably conflict-free cycles for one system."""
 
-    def __init__(self, system, compiled):
+    def __init__(self, system, compiled, decoded=None, img_hash=None,
+                 translation_blocks=False):
         self.system = system
         config = system.config
         n = config.n_cores
@@ -79,6 +103,244 @@ class FastForwardEngine:
         # Diagnostics (not part of SimulationStats).
         self.fast_cycles = 0
         self.fallbacks = 0
+        # ---- translation-block layer (see repro.tamarisc.blocks) ----
+        self.translation_blocks = bool(translation_blocks) \
+            and decoded is not None and img_hash is not None
+        self._decoded = decoded
+        self._img_hash = img_hash
+        # Blocks batch whole lockstep stretches, so they are only legal
+        # when the per-cycle proof would accept every lockstep fetch:
+        # private I-banks or an instruction broadcast bus.  Without
+        # either, single-core stretches still qualify.
+        self._blocks_static = self.translation_blocks \
+            and (self.im_private or self.instr_broadcast)
+        self._block_env = (self.pwc, self.pwb, self.swb, self.shared_words,
+                           self.dm_banks_n, self.data_broadcast)
+        self._block_recs: dict[int, object] = {}
+        # Position-indexed scratch for the generated memory phases.
+        self._brb = [0] * n
+        self._bro = [0] * n
+        self._bwb = [0] * n
+        self._bwo = [0] * n
+        # Block diagnostics (manifest/metrics surface).
+        self.block_entries = 0
+        self.blocks_compiled = 0
+        self.block_cycles = 0
+        self.block_conflicts = 0
+        # ---- loop-trace layer (cycles in the block graph) ----
+        # Traces only ever run unobserved (probed runs keep the
+        # per-cycle-shaped event synthesis of the block/cycle paths),
+        # but their state lives here so profile data survives stretches.
+        self._trace_recs: dict[int, list] = {}
+        self._trace_tried: set[int] = set()
+        self._succ: dict[int, dict[int, int]] = {}
+        self._pc_entries: dict[int, int] = {}
+        self.trace_entries = 0
+        self.traces_built = 0
+        self.trace_cycles = 0
+
+    def _block_record(self, pc):
+        """Build (and cache) the execution record for the block at ``pc``.
+
+        Returns ``None`` when the block cannot be fused (first
+        instruction unsupported); the advance loop then keeps using the
+        per-cycle path for that PC.
+        """
+        block, fresh = tblocks.get_block(pc, self._img_hash, self._decoded)
+        if fresh:
+            self.blocks_compiled += 1
+        if block.total == 0:
+            self._block_recs[pc] = None
+            return None
+        run_fast, run_obs = block.build(
+            self._block_env, self.dm_layout, self.core_banks,
+            [bank.storage for bank in self.system.dmem.banks],
+            self._brb, self._bro, self._bwb, self._bwo,
+            self._dr_bank, self._dr_off, self._dw_bank, self._dw_off)
+        if self.im_private:
+            fb_seq = None
+            fb_cum = None
+        else:
+            if self.im_interleaved:
+                fb_seq = tuple((pc + t) % self.im_banks
+                               for t in range(block.total))
+            else:
+                fb_seq = tuple((pc + t) // self.im_bank_words
+                               for t in range(block.total))
+            # fb_cum[j]: bank transitions *inside* the first j+1 fetches.
+            fb_cum = [0] * block.total
+            for t in range(1, block.total):
+                fb_cum[t] = fb_cum[t - 1] + (fb_seq[t] != fb_seq[t - 1])
+        record = (block, block.total, run_fast, run_obs, block.handlers,
+                  fb_seq, fb_cum, block.terminator == "hlt")
+        self._block_recs[pc] = record
+        return record
+
+    def _block_for_trace(self, pc):
+        """The block record at ``pc`` (building it if needed), or None."""
+        rec = self._block_recs.get(pc, _UNSET)
+        if rec is _UNSET:
+            rec = self._block_record(pc)
+        return rec
+
+    def _walk_arm(self, start, first, total):
+        """Follow the dominant-successor chain from ``first`` back to
+        ``start``.  Returns the ``[(block, expected_taken), ...]`` chain,
+        ``None`` for "profile still too thin, retry later", or ``False``
+        for a structural dead end (never retry)."""
+        chain = []
+        pc = first
+        seen = {start}
+        while pc != start:
+            if pc in seen or len(chain) >= tblocks.MAX_TRACE_BLOCKS:
+                return False
+            seen.add(pc)
+            rec = self._block_for_trace(pc)
+            if rec is None or rec[0].terminator != "br":
+                return False
+            block = rec[0]
+            edges = self._succ.get(pc)
+            if not edges:
+                return None
+            nxt = max(edges, key=edges.get)
+            count = edges[nxt]
+            if count < TRACE_MIN_EDGE or count * TRACE_CHAIN_DEN \
+                    < sum(edges.values()) * TRACE_CHAIN_NUM:
+                return None
+            instr = block.instrs[-1]
+            branch_pc = (block.start + block.n_body) & 0x7FFF
+            taken, fallthrough = tblocks._branch_targets(instr, branch_pc)
+            if nxt == taken:
+                expected = True
+            elif nxt == fallthrough:
+                expected = False
+            else:
+                return False
+            chain.append((block, expected))
+            total += block.total
+            if total > tblocks.MAX_TRACE_INSTRS:
+                return False
+            pc = nxt
+        return chain
+
+    def _build_trace(self, start):
+        """Grow, compile and register a loop trace anchored at ``start``.
+
+        The anchor's hot successor edges (one or both branch directions)
+        each grow a dominant-successor chain back to ``start``; the
+        resulting shape goes to :func:`repro.tamarisc.blocks.build_trace`.
+        *Structural* failures (non-branch terminators, unfusable paths,
+        chains that leave the loop) are remembered in ``_trace_tried``
+        so the attempt is never repeated; thin profile data just waits
+        for more entries.
+        """
+        rec = self._block_for_trace(start)
+        if rec is None or rec[0].terminator != "br":
+            self._trace_tried.add(start)
+            return None
+        anchor = rec[0]
+        edges = self._succ.get(start)
+        if not edges:
+            return None
+        hot = [(pc, count) for pc, count in edges.items()
+               if count >= TRACE_MIN_EDGE]
+        hot.sort(key=lambda item: -item[1])
+        hot = hot[:2]
+        if not hot or sum(count for __, count in hot) * TRACE_SPLIT_DEN \
+                < sum(edges.values()) * TRACE_SPLIT_NUM:
+            return None
+        instr = anchor.instrs[-1]
+        branch_pc = (anchor.start + anchor.n_body) & 0x7FFF
+        taken, fallthrough = tblocks._branch_targets(instr, branch_pc)
+        arms_spec = []
+        for nxt, __ in hot:
+            if nxt == taken:
+                expected = True
+            elif nxt == fallthrough:
+                expected = False
+            else:
+                self._trace_tried.add(start)
+                return None
+            chain = self._walk_arm(start, nxt, anchor.total)
+            if chain is None:
+                return None
+            if chain is False:
+                self._trace_tried.add(start)
+                return None
+            arms_spec.append((expected, chain))
+        # Sample the lockstep cores at the anchor: registers and flags
+        # that already differ across cores seed the uniform-variant
+        # partition (build_trace treats everything they taint as
+        # per-core).  Uniformity is re-checked at every dispatch, so a
+        # lucky sample only costs a fallback, never correctness.
+        cores = [core for core in self.system.cores
+                 if not core.halted and core.pc == start]
+        percore_regs = frozenset()
+        percore_flags = frozenset()
+        if len(cores) > 1:
+            base = cores[0]
+            percore_regs = frozenset(
+                index for index in range(len(base.regs))
+                if any(core.regs[index] != base.regs[index]
+                       for core in cores[1:]))
+            percore_flags = frozenset(
+                bit for bit in "czvn"
+                if any(getattr(core.flags, bit)
+                       != getattr(base.flags, bit)
+                       for core in cores[1:]))
+        trace = tblocks.build_trace(anchor, arms_spec, percore_regs,
+                                    percore_flags)
+        if trace is None:
+            self._trace_tried.add(start)
+            return None
+        run = trace.build(
+            self._block_env, self.dm_layout, self.core_banks,
+            [bank.storage for bank in self.system.dmem.banks])
+        if self.im_private:
+            fb0 = None
+            arm_consts = None
+        else:
+            arm_consts = []
+            fb0 = None
+            for index in range(len(trace.arms)):
+                pcs = trace.arm_pcs(index)
+                if self.im_interleaved:
+                    fb_seq = [p % self.im_banks for p in pcs]
+                else:
+                    fb_seq = [p // self.im_bank_words for p in pcs]
+                if fb0 is None:
+                    fb0 = fb_seq[0]
+                internal = sum(fb_seq[t] != fb_seq[t - 1]
+                               for t in range(1, len(fb_seq)))
+                arm_consts.append(
+                    (internal, int(fb_seq[-1] != fb0), fb_seq[-1]))
+            if len(arm_consts) == 1:
+                arm_consts.append((0, 0, 0))
+            arm_consts = tuple(arm_consts)
+        # rec = [run, max_period, fb0, ((internal, wrap, last_bank) per
+        #        arm) | None, entries, declines]
+        record = [run, trace.max_period, fb0, arm_consts, 0, 0]
+        self._trace_recs[start] = record
+        self.traces_built += 1
+        return record
+
+    def block_summary(self):
+        """Diagnostics dict for run manifests and benchmark records."""
+        entries = self.block_entries
+        fast = self.fast_cycles
+        return {
+            "enabled": self.translation_blocks,
+            "entries": entries,
+            "compiled": self.blocks_compiled,
+            "hit_rate": (entries - self.blocks_compiled) / entries
+            if entries else 0.0,
+            "block_cycles": self.block_cycles,
+            "conflicts": self.block_conflicts,
+            "lockstep_fraction": self.block_cycles / fast if fast else 0.0,
+            "traces": self.traces_built,
+            "trace_entries": self.trace_entries,
+            "trace_cycles": self.trace_cycles,
+        }
 
     def advance(self, running, attempts, core_stats, cycle, sync_cycles,
                 max_cycles):
@@ -132,8 +394,9 @@ class FastForwardEngine:
         p_im_bc = observing and bus.wants("im.broadcast")
         p_dm_bc = observing and bus.wants("dm.broadcast")
         p_ff = observing and bus.wants("ff.exit")
+        p_ffb = observing and bus.wants("ff.block")
         ap_retire = ap_mmu = ap_im_bc = ap_dm_bc = None
-        mk_retire = rt_data = rt_ring = None
+        mk_retire = rt_data = rt_ring = im_bc_data = None
         emit_retire = emit_mmu = False  # per-event emit() fallbacks
         seg_stride = 0  # forces a fresh ring mark on the first commit
         if observing:
@@ -154,6 +417,7 @@ class FastForwardEngine:
             if p_im_bc:
                 ring = bus.batch("im.broadcast")
                 ap_im_bc = ring.data.append if ring is not None else None
+                im_bc_data = ring.data if ring is not None else None
             if p_dm_bc:
                 ring = bus.batch("dm.broadcast")
                 ap_dm_bc = ring.data.append if ring is not None else None
@@ -173,6 +437,35 @@ class FastForwardEngine:
         mmu_p = [0] * n
         mmu_s = [0] * n
 
+        # Translation-block layer locals.
+        blocks_any = self.translation_blocks
+        blocks_static = self._blocks_static
+        block_recs = self._block_recs
+        # Loop-trace locals.  Profiling (successor edges, per-PC entry
+        # counts) and trace execution are both unobserved-only: probed
+        # runs must keep synthesising the per-cycle event stream.
+        profiling = blocks_any and not observing
+        trace_recs = self._trace_recs
+        succ = self._succ
+        pc_entries = self._pc_entries
+        succ_pc = -1
+        succ_cycle = -1
+        # After a successful trace run the PC is back at the anchor but
+        # the *next* iteration is exactly the one that bailed, so an
+        # immediate re-entry would be a guaranteed decline.  Skip one
+        # attempt; any other block entry re-arms the trace.
+        trace_skip = -1
+        # Slots 0-5 are batched DM stats, 6 the fault-offset channel,
+        # 7 the conflict-offset channel (offset *within* the block; the
+        # return value alone cannot flag conflicts once self-looping
+        # blocks commit several iterations per call), 8-10 the trace
+        # layer's per-call arm report (iterations per arm, last
+        # committed arm) for fetch-transition accounting.
+        bacc = [0, 0, 0, 0, 0, 0, -1, -1, 0, 0, 0]
+        entries_before = self.block_entries
+        compiled_before = self.blocks_compiled
+        bcycles_before = self.block_cycles
+
         run_list = sorted(running)
         run_cores = [cores[pid] for pid in run_list]
         try:
@@ -182,6 +475,297 @@ class FastForwardEngine:
                         f"benchmark {system.benchmark.name!r} did not "
                         f"finish within {max_cycles} cycles on "
                         f"{system.config.name}")
+
+                n_run = len(run_list)
+
+                # ---- translation-block fast path ----
+                # When every running core sits at the same PC (or one
+                # core runs free) the whole straight-line block starting
+                # there commits in a single specialised call.  Within
+                # the block every cycle is a lockstep fetch by
+                # construction; divergence can only happen at the
+                # terminator, after which this check simply fails and
+                # the per-cycle machinery takes over.
+                if blocks_static or (blocks_any and n_run == 1):
+                    first_pc = run_cores[0].pc
+                    entering = first_pc < program_len
+                    if entering and n_run > 1:
+                        for core in run_cores:
+                            if core.pc != first_pc:
+                                entering = False
+                                break
+                    # ---- loop-trace fast path ----
+                    # A registered trace at this PC commits whole loop
+                    # iterations with per-core scalar-register code; it
+                    # declines (j == 0) when the very first iteration
+                    # leaves the traced path, leaving state untouched
+                    # for the block path below.  Committed iterations
+                    # are all-lockstep, all-private and conflict-free
+                    # by construction, so the statistics fold to
+                    # compile-time constants times the iteration count.
+                    if profiling and entering \
+                            and first_pc != trace_skip:
+                        trace_skip = -1
+                        trec = trace_recs.get(first_pc)
+                        if trec is not None \
+                                and cycle + trec[1] <= max_cycles:
+                            self.trace_entries += 1
+                            trec[4] += 1
+                            j = trec[0](run_cores, mmu_t, mmu_p, mmu_s,
+                                        dlast, dtrans, bacc,
+                                        max_cycles - cycle)
+                            if j:
+                                cycle += j
+                                self.fast_cycles += j
+                                self.trace_cycles += j
+                                if n_run > 1:
+                                    sync_cycles += j
+                                im_del += j * n_run
+                                if trec[2] is None:  # private I-banks
+                                    im_acc += j * n_run
+                                    for pid in run_list:
+                                        last = ilast[pid]
+                                        if last is not None \
+                                                and last != pid:
+                                            itrans[pid] += 1
+                                        ilast[pid] = pid
+                                else:
+                                    im_acc += j
+                                    if n_run > 1:
+                                        im_bc += j
+                                        im_sv += j * (n_run - 1)
+                                    # Per-arm iteration counts (and
+                                    # the last arm run) reported by
+                                    # the generated code; fetch-bank
+                                    # transitions fold from per-arm
+                                    # constants.  The wrap between
+                                    # consecutive iterations counts on
+                                    # the *earlier* iteration's arm,
+                                    # and the final iteration has no
+                                    # following wrap.
+                                    it_a = bacc[8]
+                                    it_b = bacc[9]
+                                    arm_a, arm_b = trec[3]
+                                    delta_base = \
+                                        arm_a[0] * it_a \
+                                        + arm_b[0] * it_b \
+                                        + arm_a[1] * it_a \
+                                        + arm_b[1] * it_b
+                                    if bacc[10]:
+                                        delta_base -= arm_a[1]
+                                        fbl = arm_a[2]
+                                    else:
+                                        delta_base -= arm_b[1]
+                                        fbl = arm_b[2]
+                                    fb0 = trec[2]
+                                    for pid in run_list:
+                                        last = ilast[pid]
+                                        delta = delta_base
+                                        if last is not None \
+                                                and last != fb0:
+                                            delta += 1
+                                        if delta:
+                                            itrans[pid] += delta
+                                        ilast[pid] = fbl
+                                succ_pc = -1
+                                trace_skip = first_pc
+                                continue
+                            trec[5] += 1
+                            if trec[5] * 4 > trec[4] + 8:
+                                # Thrashing trace: the loop no longer
+                                # behaves as profiled.  Drop it and
+                                # block rebuilds at this anchor.
+                                del trace_recs[first_pc]
+                                self._trace_tried.add(first_pc)
+                    if entering:
+                        rec = block_recs.get(first_pc, _UNSET)
+                        if rec is _UNSET:
+                            rec = self._block_record(first_pc)
+                        if rec is not None \
+                                and cycle + rec[1] <= max_cycles:
+                            # rec = (block, total, run_fast, run_obs,
+                            #        handlers, fb_seq, fb_cum, halts)
+                            self.block_entries += 1
+                            if profiling:
+                                count = pc_entries.get(first_pc, 0) + 1
+                                pc_entries[first_pc] = count
+                                if count % TRACE_ENTRY_THRESHOLD == 0 \
+                                        and first_pc not in trace_recs \
+                                        and first_pc not in \
+                                        self._trace_tried:
+                                    self._build_trace(first_pc)
+                            total = rec[1]
+                            bacc[6] = -1
+                            bacc[7] = -1
+                            raise_exc = None
+                            try:
+                                if observing:
+                                    j = rec[3](run_cores, mmu_t, mmu_p,
+                                               mmu_s, dlast, dtrans,
+                                               bacc, cycle, bus.emit,
+                                               ap_mmu, emit_mmu,
+                                               ap_dm_bc, p_dm_bc)
+                                else:
+                                    j = rec[2](run_cores, mmu_t, mmu_p,
+                                               mmu_s, dlast, dtrans,
+                                               bacc,
+                                               max_cycles - cycle)
+                            except SimulationError as exc:
+                                # Address fault at block offset
+                                # bacc[6]: the generated code already
+                                # patched PC/retired; account for the
+                                # committed prefix, then re-raise.
+                                j = bacc[6]
+                                if j <= 0:
+                                    raise
+                                raise_exc = exc
+                            if j:
+                                cycle_before = cycle
+                                cycle += j
+                                self.fast_cycles += j
+                                self.block_cycles += j
+                                if n_run > 1:
+                                    sync_cycles += j
+                                if observing:
+                                    if ap_retire is not None:
+                                        # Blocks are lockstep stretches
+                                        # with consecutive fetch PCs:
+                                        # continue (or open) an RLE
+                                        # segment and bulk-append.
+                                        if seg_stride != -n_run:
+                                            mk_retire(cycle_before)
+                                            mk_retire(len(rt_data))
+                                            mk_retire(-n_run)
+                                            rt_ring.rle = True
+                                            seg_stride = -n_run
+                                        rt_data.extend(
+                                            range(first_pc,
+                                                  first_pc + j))
+                                    elif emit_retire:
+                                        for t in range(j):
+                                            cy = cycle_before + t
+                                            pc_t = first_pc + t
+                                            for pid in run_list:
+                                                bus.emit("core.retire",
+                                                         cy, pid, pc_t)
+                                im_del += j * n_run
+                                fb_seq = rec[5]
+                                if fb_seq is None:  # private I-banks
+                                    im_acc += j * n_run
+                                    for pid in run_list:
+                                        last = ilast[pid]
+                                        if last is not None \
+                                                and last != pid:
+                                            itrans[pid] += 1
+                                        ilast[pid] = pid
+                                else:
+                                    im_acc += j
+                                    if n_run > 1:
+                                        im_bc += j
+                                        im_sv += j * (n_run - 1)
+                                        if p_im_bc:
+                                            if ap_im_bc is not None:
+                                                im_bc_data.extend(
+                                                    (n_run,) * j)
+                                            else:
+                                                for t in range(j):
+                                                    bus.emit(
+                                                        "im.broadcast",
+                                                        cycle_before + t,
+                                                        fb_seq[t], n_run)
+                                    if j <= total:
+                                        internal = rec[6][j - 1]
+                                        fbj = fb_seq[j - 1]
+                                    else:
+                                        # Self-looping block: q full
+                                        # iterations plus an r-cycle
+                                        # prefix; fetch banks repeat
+                                        # fb_seq cyclically, with one
+                                        # extra transition per wrap iff
+                                        # last and first banks differ.
+                                        q, r = divmod(j, total)
+                                        starts = q + (1 if r else 0)
+                                        internal = q * rec[6][total - 1] \
+                                            + (rec[6][r - 1] if r else 0) \
+                                            + (starts - 1) \
+                                            * (fb_seq[total - 1]
+                                               != fb_seq[0])
+                                        fbj = fb_seq[(j - 1) % total]
+                                    fb0 = fb_seq[0]
+                                    for pid in run_list:
+                                        last = ilast[pid]
+                                        delta = internal
+                                        if last is not None \
+                                                and last != fb0:
+                                            delta += 1
+                                        if delta:
+                                            itrans[pid] += delta
+                                        ilast[pid] = fbj
+                                # Flush cadence (timing-only): match
+                                # the per-cycle path's 16k-cycle bound.
+                                if observing and \
+                                        (cycle_before >> 14) != \
+                                        (cycle >> 14):
+                                    bus.flush()
+                                    seg_stride = 0
+                            if raise_exc is not None:
+                                raise raise_exc
+                            conflict_at = bacc[7]
+                            if conflict_at >= 0:
+                                # Potential bank conflict at that block
+                                # offset: the generated code filled the
+                                # pid-indexed scratch; prefill the
+                                # attempts exactly like the per-cycle
+                                # fallback below.
+                                handler = rec[4][conflict_at]
+                                for pid in run_list:
+                                    attempt = attempts[pid]
+                                    attempt.instr = handler.instr
+                                    attempt.fetch_pc = cores[pid].pc
+                                    attempt.need_if = True
+                                    rb = dr_bank[pid]
+                                    if rb >= 0:
+                                        attempt.need_dr = True
+                                        attempt.dr_loc = \
+                                            (rb, dr_off[pid])
+                                    else:
+                                        attempt.need_dr = False
+                                        attempt.dr_loc = None
+                                    wb = dw_bank[pid]
+                                    if wb >= 0:
+                                        attempt.need_dw = True
+                                        attempt.dw_loc = \
+                                            (wb, dw_off[pid])
+                                    else:
+                                        attempt.need_dw = False
+                                        attempt.dw_loc = None
+                                self.fallbacks += 1
+                                self.block_conflicts += 1
+                                return cycle, sync_cycles
+                            if profiling and j:
+                                # Successor profile: back-to-back block
+                                # entries (no per-cycle stretch in
+                                # between) are the edges a loop trace
+                                # may cross.  Conflicts and faults
+                                # returned/raised above, so j is a
+                                # whole number of block executions
+                                # ending at the terminator here.
+                                if succ_pc >= 0 \
+                                        and succ_cycle == cycle_before:
+                                    edges = succ.get(succ_pc)
+                                    if edges is None:
+                                        edges = succ[succ_pc] = {}
+                                    edges[first_pc] = \
+                                        edges.get(first_pc, 0) + 1
+                                succ_pc = first_pc
+                                succ_cycle = cycle
+                            if rec[7]:  # HLT terminator
+                                for pid in run_list:
+                                    core_stats[pid].halted_at = cycle
+                                    running.discard(pid)
+                                run_list = []
+                                run_cores = []
+                            continue
 
                 # ---- preview: addresses, translation, conflict proof ----
                 conflict = False
@@ -460,11 +1044,24 @@ class FastForwardEngine:
                     run_cores = [cores[pid] for pid in run_list]
             return cycle, sync_cycles
         finally:
+            # Fold the generated blocks' accumulator array into the
+            # stretch counters (slot 6 is the fault-offset channel).
+            dm_acc += bacc[0]
+            dm_del += bacc[1]
+            dm_bc += bacc[2]
+            dm_sv += bacc[3]
+            dreads += bacc[4]
+            dwrites += bacc[5]
             # No flush here: rings are shared with the cycle-stepped
             # loop and survive mode transitions; flushing every stretch
             # would pay the vectorised-drain fixed cost per fallback.
             if p_ff:
                 bus.emit("ff.exit", cycle, cycle - entered_at)
+            if p_ffb and self.block_entries > entries_before:
+                bus.emit("ff.block", cycle,
+                         self.block_entries - entries_before,
+                         self.blocks_compiled - compiled_before,
+                         self.block_cycles - bcycles_before)
             ix = system.ixbar.stats
             ix.bank_accesses += im_acc
             ix.deliveries += im_del

@@ -33,6 +33,7 @@ from repro.memory.mmu import MMU
 from repro.platform.config import ArchConfig, build_config
 from repro.platform.fast_forward import FastForwardEngine
 from repro.platform.stats import CoreStats, SimulationStats
+from repro.tamarisc.blocks import image_hash
 from repro.tamarisc.cpu import Core
 from repro.tamarisc.dispatch import compile_program
 from repro.tamarisc.program import DataImage, Program
@@ -50,6 +51,19 @@ def set_default_fast_forward(enabled: bool) -> None:
     """Set the process-wide default for the fast-forward execution mode."""
     global _DEFAULT_FAST_FORWARD
     _DEFAULT_FAST_FORWARD = bool(enabled)
+
+
+#: Process-wide default for the fast-forward engine's translation-block
+#: layer (:mod:`repro.tamarisc.blocks`).  On by default — blocks carry
+#: the same bit-identity contract as the engine itself; the CLI's
+#: ``--no-blocks`` escape hatch flips this off.
+_DEFAULT_TRANSLATION_BLOCKS = True
+
+
+def set_default_translation_blocks(enabled: bool) -> None:
+    """Set the process-wide default for the translation-block layer."""
+    global _DEFAULT_TRANSLATION_BLOCKS
+    _DEFAULT_TRANSLATION_BLOCKS = bool(enabled)
 
 
 @dataclass
@@ -100,16 +114,27 @@ class MultiCoreSystem:
     (the differential suite in ``tests/platform`` enforces this).
     ``None`` defers to the process default (see
     :func:`set_default_fast_forward`).
+
+    ``translation_blocks`` additionally routes lockstep stretches of the
+    fast path through cached basic-block translations
+    (:mod:`repro.tamarisc.blocks`); it only takes effect together with
+    ``fast_forward`` and carries the identical bit-identity contract.
+    ``None`` defers to the process default (see
+    :func:`set_default_translation_blocks`).
     """
 
     def __init__(self, config: ArchConfig | str,
-                 fast_forward: bool | None = None):
+                 fast_forward: bool | None = None,
+                 translation_blocks: bool | None = None):
         if isinstance(config, str):
             config = build_config(config)
         self.config = config
         if fast_forward is None:
             fast_forward = _DEFAULT_FAST_FORWARD
+        if translation_blocks is None:
+            translation_blocks = _DEFAULT_TRANSLATION_BLOCKS
         self.fast_forward = bool(fast_forward)
+        self.translation_blocks = bool(translation_blocks)
         self._ff_engine: FastForwardEngine | None = None
         self.im_layout = config.im_layout()
         self.dm_layout = config.dm_layout()
@@ -188,8 +213,14 @@ class MultiCoreSystem:
             mmu.shared_accesses = 0
         self._dreads_committed = 0
         self._dwrites_committed = 0
-        self._ff_engine = FastForwardEngine(self, compile_program(
-            self.decoded)) if self.fast_forward else None
+        if self.fast_forward:
+            self._ff_engine = FastForwardEngine(
+                self, compile_program(self.decoded),
+                decoded=self.decoded,
+                img_hash=image_hash(program.words),
+                translation_blocks=self.translation_blocks)
+        else:
+            self._ff_engine = None
         self.benchmark = benchmark
 
     # -- inspection helpers ----------------------------------------------------------
@@ -490,6 +521,7 @@ class MultiCoreSystem:
 
 
 def build_platform(name_or_config, fast_forward: bool | None = None,
+                   translation_blocks: bool | None = None,
                    **overrides) -> MultiCoreSystem:
     """Construct a platform by name ("mc-ref", "ulpmc-int", "ulpmc-bank")
     or from an explicit :class:`ArchConfig`."""
@@ -497,9 +529,11 @@ def build_platform(name_or_config, fast_forward: bool | None = None,
         if overrides:
             raise ConfigurationError(
                 "pass overrides with a name, not a config object")
-        return MultiCoreSystem(name_or_config, fast_forward=fast_forward)
+        return MultiCoreSystem(name_or_config, fast_forward=fast_forward,
+                               translation_blocks=translation_blocks)
     return MultiCoreSystem(build_config(name_or_config, **overrides),
-                           fast_forward=fast_forward)
+                           fast_forward=fast_forward,
+                           translation_blocks=translation_blocks)
 
 
 #: Alias matching the name used in project documentation.

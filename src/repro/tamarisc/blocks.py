@@ -1,0 +1,2081 @@
+"""Basic-block translation cache for the fast-forward engine.
+
+The fast-forward engine (:mod:`repro.platform.fast_forward`) removed the
+crossbar machinery from conflict-free cycles but still dispatches one
+compiled closure per instruction per core per cycle.  On the evaluated
+workloads the cores spend >90 % of their cycles in *lockstep* (all
+running cores at the same PC), so consecutive cycles execute the same
+straight-line instruction sequence eight times over — a shape QEMU-style
+dynamic binary translation exploits with translation blocks.
+
+This module discovers straight-line **basic blocks** at first execution
+(ending at a branch, ``HLT`` or the first unsupported instruction),
+fuses the per-instruction preview/commit semantics of
+:mod:`repro.tamarisc.dispatch` into one specialised Python function per
+block via source generation + ``exec``, and caches the result keyed by
+``(pc, image_hash)``.  Code memory is read-only on these platforms, so
+the cache never invalidates.  The generated callable is the *lockstep
+variant*: it steps every running core through the whole block in one
+call, with
+
+* straight-line ALU/MOV runs unrolled into a single per-core loop
+  (register file and flags object hoisted once per core),
+* dead flag-bit stores eliminated — a flag write is skipped when a later
+  in-block instruction overwrites that bit before any point at which the
+  block can exit (conflict fallback, address fault or block end),
+* PC/retired updates deferred to the block exits (one constant store per
+  core instead of one per instruction),
+* memory steps compiled to a two-phase translate/verdict/commit schedule
+  that replicates the engine's conflict proof exactly, including the
+  all-private fast verdict (per-core private banks are disjoint, so a
+  cycle whose accesses all hit the private window needs no bank map).
+
+Exactness is the same contract the engine itself carries: architectural
+state, every ``SimulationStats`` field, MMU/crossbar accounting and the
+probe event stream are bit-identical to the per-instruction paths.  On a
+potential bank conflict at block offset ``j`` the generated function
+commits the first ``j`` cycles, fills the engine's per-core scratch
+arrays with the already-translated bank/offset pairs and returns ``j``;
+the engine prefills the exact loop's attempts from them, exactly like
+its own per-cycle fallback.  Address faults raise mid-block with the
+same message and the same committed-state cut as the per-cycle paths
+(the generated code patches PC/retired before raising and records the
+committed depth in ``_acc[6]`` for the engine's stat reconciliation).
+
+The generated function is specialised on a small *environment* tuple
+(data-memory geometry + broadcast capability), so one cached
+:class:`Block` serves every architecture; code objects are memoised per
+environment.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+
+from repro.memory.layout import PRIVATE_BASE
+from repro.tamarisc.dispatch import compile_instruction
+from repro.tamarisc.isa import (
+    ALU_OPS,
+    BranchMode,
+    Cond,
+    DstMode,
+    Instruction,
+    Op,
+    REG_XR,
+    SRC_MEM_MODES,
+    SrcMode,
+)
+
+#: Body-length cap: a block never fuses more than this many straight-line
+#: instructions (the terminator comes on top).  Bounds generated-code
+#: size; real straight-line runs are far shorter.
+MAX_BLOCK_BODY = 128
+
+#: Flag bits each opcode writes (see ``dispatch._compile_commit``).
+_FLAG_BITS = {
+    Op.ADD: "cvzn",
+    Op.SUB: "cvzn",
+    Op.AND: "zn",
+    Op.OR: "zn",
+    Op.XOR: "zn",
+    Op.SLL: "czn",
+    Op.SRL: "czn",
+    Op.MUL: "vzn",
+    Op.MOV: "",
+}
+
+_PTR_DELTA = {
+    SrcMode.IND_POSTINC: 1,
+    SrcMode.IND_PREINC: 1,
+    SrcMode.IND_POSTDEC: -1,
+    SrcMode.IND_PREDEC: -1,
+}
+_SRC_PRE = frozenset({SrcMode.IND_PREINC, SrcMode.IND_PREDEC})
+
+#: Condition expressions over a hoisted ``_f`` flags object, mirroring
+#: ``dispatch._COND_FNS`` bit for bit.
+_COND_EXPR = {
+    Cond.EQ: "_f.z",
+    Cond.NE: "not _f.z",
+    Cond.CS: "_f.c",
+    Cond.CC: "not _f.c",
+    Cond.MI: "_f.n",
+    Cond.PL: "not _f.n",
+    Cond.VS: "_f.v",
+    Cond.VC: "not _f.v",
+    Cond.HI: "_f.c and not _f.z",
+    Cond.LS: "not _f.c or _f.z",
+    Cond.GE: "_f.n == _f.v",
+    Cond.LT: "_f.n != _f.v",
+    Cond.GT: "not _f.z and _f.n == _f.v",
+    Cond.LE: "_f.z or _f.n != _f.v",
+}
+
+#: Flag bits each condition code reads (guard liveness in traces).
+_COND_BITS = {
+    Cond.EQ: "z", Cond.NE: "z",
+    Cond.CS: "c", Cond.CC: "c",
+    Cond.MI: "n", Cond.PL: "n",
+    Cond.VS: "v", Cond.VC: "v",
+    Cond.HI: "cz", Cond.LS: "cz",
+    Cond.GE: "nv", Cond.LT: "nv",
+    Cond.GT: "znv", Cond.LE: "znv",
+}
+
+_PC_MASK = 0x7FFF
+
+
+def image_hash(words) -> str:
+    """Content hash of a program image (cache key component)."""
+    digest = hashlib.sha256()
+    for word in words:
+        digest.update(word.to_bytes(3, "little"))
+    return digest.hexdigest()
+
+
+def _supported(instr: Instruction) -> bool:
+    """True when the block compiler can fuse this instruction.
+
+    The same single-read contract ``dispatch.compile_instruction``
+    specialises on: illegal dual-read instructions fall back to the
+    generic core (and therefore end the block before them).
+    """
+    if instr.op not in ALU_OPS and instr.op != Op.MOV:
+        return False
+    n_reads = int(instr.s1mode in SRC_MEM_MODES)
+    if instr.op != Op.MOV:
+        n_reads += int(instr.s2mode in SRC_MEM_MODES)
+    return n_reads <= 1
+
+
+def discover_block(decoded, pc: int) -> "Block":
+    """Collect the straight-line block starting at ``pc`` (uncached).
+
+    The block extends over supported ALU/``MOV`` instructions and ends
+    *inclusively* at the first ``BR``/``HLT`` (the terminator executes
+    inside the block) or *exclusively* at the first unsupported
+    instruction, the :data:`MAX_BLOCK_BODY` cap or the program end.
+    """
+    instrs: list[Instruction] = []
+    terminator = None
+    index = pc
+    end = len(decoded)
+    while index < end:
+        instr = decoded[index]
+        if instr.op == Op.HLT or instr.op == Op.BR:
+            instrs.append(instr)
+            terminator = "hlt" if instr.op == Op.HLT else "br"
+            break
+        if not _supported(instr) or len(instrs) >= MAX_BLOCK_BODY:
+            break
+        instrs.append(instr)
+        index += 1
+    return Block(pc, instrs, terminator)
+
+
+#: Global translation cache: ``(pc, image_hash) -> Block``.  Code is
+#: read-only, so entries are never invalidated; systems running the same
+#: image share blocks (the engine re-specialises per memory geometry).
+_CACHE: dict[tuple[int, str], "Block"] = {}
+
+
+def get_block(pc: int, img_hash: str, decoded) -> tuple["Block", bool]:
+    """The cached block at ``(pc, img_hash)``; ``(block, compiled_now)``."""
+    key = (pc, img_hash)
+    block = _CACHE.get(key)
+    if block is not None:
+        return block, False
+    block = discover_block(decoded, pc)
+    _CACHE[key] = block
+    return block, True
+
+
+#: Source-text -> code-object cache.  Generated source is a pure
+#: function of (block shape, environment), so identical text across
+#: engines, runs or trace rebuilds compiles exactly once per process.
+_CODE_CACHE: dict[str, object] = {}
+
+
+def _compile_cached(src: str, filename: str):
+    code = _CODE_CACHE.get(src)
+    if code is None:
+        code = compile(src, filename, "exec")
+        _CODE_CACHE[src] = code
+    return code
+
+
+def cache_clear() -> None:
+    """Drop every cached block (tests and memory-bound long sessions)."""
+    _CACHE.clear()
+    _CODE_CACHE.clear()
+
+
+def cache_size() -> int:
+    return len(_CACHE)
+
+
+class Block:
+    """One discovered basic block plus its per-environment code objects.
+
+    ``total`` is the number of cycles a full execution commits (body
+    length plus one for the terminator); ``total == 0`` marks an
+    unusable block (first instruction unsupported) the engine must not
+    enter.  ``handlers`` carries one
+    :class:`~repro.tamarisc.dispatch.CompiledInstruction` per position
+    so conflict fallbacks can prefill the exact loop's attempts.
+    """
+
+    __slots__ = ("start", "instrs", "terminator", "handlers", "n_body",
+                 "total", "_sources", "_codes")
+
+    def __init__(self, start: int, instrs, terminator):
+        self.start = start
+        self.instrs = list(instrs)
+        self.terminator = terminator  # 'br' | 'hlt' | None
+        self.handlers = [compile_instruction(i) for i in self.instrs]
+        self.n_body = len(self.instrs) - (1 if terminator else 0)
+        self.total = len(self.instrs)
+        self._sources: dict[tuple, str] = {}
+        self._codes: dict[tuple, object] = {}
+
+    def source(self, env: tuple) -> str:
+        """The generated source for one environment (memoised)."""
+        src = self._sources.get(env)
+        if src is None:
+            src = _generate_source(self, env)
+            self._sources[env] = src
+        return src
+
+    def code(self, env: tuple):
+        code = self._codes.get(env)
+        if code is None:
+            code = _compile_cached(
+                self.source(env), f"<block {self.start:#x}+{self.total}>")
+            self._codes[env] = code
+        return code
+
+    def build(self, env: tuple, layout, core_banks, storages,
+              rbs, ros, wbs, wos, drb, dro, dwb, dwo):
+        """Bind one engine's geometry/scratch; ``(run_fast, run_obs)``.
+
+        ``rbs``/``ros``/``wbs``/``wos`` are position-indexed per-core
+        scratch lists (the generated memory phases fill them);
+        ``drb``/``dro``/``dwb``/``dwo`` are the engine's *pid*-indexed
+        attempt-prefill arrays, filled only on a conflict exit.
+        """
+        namespace: dict = {}
+        exec(self.code(env), namespace)
+        return namespace["_build"](layout, core_banks, storages,
+                                   rbs, ros, wbs, wos, drb, dro, dwb, dwo)
+
+
+# ---------------------------------------------------------------------------
+# Liveness: which flag-bit stores can any exit observe?
+# ---------------------------------------------------------------------------
+
+def _live_flag_bits(block: Block) -> list[set]:
+    """Per body position, the flag bits whose stores are observable.
+
+    The block can stop after instruction ``m - 1`` for every memory
+    position ``m`` (conflict fallback or address fault at ``m``) and
+    after the last body instruction (terminator or block end), so those
+    are the checkpoints; a bit written at ``t`` is dead iff another
+    in-block instruction overwrites it before the first checkpoint at or
+    after ``t``.
+    """
+    handlers = block.handlers
+    instrs = block.instrs
+    n_body = block.n_body
+    checkpoints = {t - 1 for t in range(n_body)
+                   if t >= 1 and handlers[t].preview is not None}
+    if n_body:
+        checkpoints.add(n_body - 1)
+    ordered = sorted(checkpoints)
+    live: list[set] = []
+    for t in range(n_body):
+        checkpoint = next(c for c in ordered if c >= t)
+        bits = set()
+        for bit in _FLAG_BITS[instrs[t].op]:
+            if not any(bit in _FLAG_BITS[instrs[u].op]
+                       for u in range(t + 1, checkpoint + 1)):
+                bits.add(bit)
+        live.append(bits)
+    return live
+
+
+# ---------------------------------------------------------------------------
+# Instruction semantics -> source lines.
+# ---------------------------------------------------------------------------
+
+def _ptr_update(mode: SrcMode, reg: int) -> list[str]:
+    delta = _PTR_DELTA.get(mode)
+    if not delta:
+        return []
+    sign = "+" if delta > 0 else "-"
+    return [f"_r[{reg}] = (_r[{reg}] {sign} 1) & 65535"]
+
+
+def _mem_src_slot(instr: Instruction) -> int:
+    """0 = no memory source, 1/2 = which source operand loads memory."""
+    if instr.s1mode in SRC_MEM_MODES:
+        return 1
+    if instr.op != Op.MOV and instr.s2mode in SRC_MEM_MODES:
+        return 2
+    return 0
+
+
+def _semantic_lines(instr: Instruction, live: set) -> list[str]:
+    """Commit semantics of one instruction, dest store excluded for
+    memory destinations (the caller owns the bank write); the loaded
+    word, if any, is in ``_v``.  Mirrors ``dispatch._compile_commit``
+    line for line, minus dead flag stores.
+    """
+    op = instr.op
+    slot = _mem_src_slot(instr)
+    dst_mem = instr.dmode != DstMode.REG
+    out: list[str] = []
+
+    # Source 1 (pointer side effect first, exactly like get1).
+    if slot == 1:
+        out += _ptr_update(instr.s1mode, instr.s1val)
+        a = "_v"
+    elif instr.s1mode == SrcMode.REG:
+        a = f"_r[{instr.s1val}]"
+    else:
+        a = str(instr.s1val)
+
+    if op == Op.MOV:
+        if dst_mem:
+            out.append(f"_res = {a}")
+            out += _dest_side_effect(instr)
+        else:
+            out.append(f"_r[{instr.dreg}] = {a}")
+        return out
+
+    # Source 2.  When source 2 is the memory operand and its pointer
+    # register aliases a source-1 register read, latch the source-1
+    # value first (get1 runs before get2's side effect).
+    if slot == 2:
+        update = _ptr_update(instr.s2mode, instr.s2val)
+        if update and instr.s1mode == SrcMode.REG \
+                and instr.s1val == instr.s2val:
+            out.append(f"_a = {a}")
+            a = "_a"
+        out += update
+        b = "_v"
+    elif instr.s2mode == SrcMode.REG:
+        b = f"_r[{instr.s2val}]"
+    else:
+        b = str(instr.s2val)
+
+    if op == Op.ADD:
+        out.append(f"_t = {a} + {b}")
+        out.append("_res = _t & 65535")
+        if "c" in live:
+            out.append("_f.c = _t > 65535")
+        if "v" in live:
+            out.append(f"_f.v = ~({a} ^ {b}) & ({a} ^ _res) & 32768 != 0")
+    elif op == Op.SUB:
+        out.append(f"_res = ({a} - {b}) & 65535")
+        if "c" in live:
+            out.append(f"_f.c = {a} >= {b}")
+        if "v" in live:
+            out.append(f"_f.v = ({a} ^ {b}) & ({a} ^ _res) & 32768 != 0")
+    elif op in (Op.AND, Op.OR, Op.XOR):
+        symbol = {Op.AND: "&", Op.OR: "|", Op.XOR: "^"}[op]
+        out.append(f"_res = {a} {symbol} {b}")
+    elif op in (Op.SLL, Op.SRL):
+        if slot != 2 and instr.s2mode == SrcMode.IMM:
+            shift = instr.s2val & 15
+            if op == Op.SLL:
+                out.append(f"_res = ({a} << {shift}) & 65535")
+                if "c" in live:
+                    out.append("_f.c = False" if shift == 0 else
+                               f"_f.c = ({a} >> {16 - shift}) & 1 != 0")
+            else:
+                out.append(f"_res = ({a} >> {shift}) & 65535")
+                if "c" in live:
+                    out.append("_f.c = False" if shift == 0 else
+                               f"_f.c = ({a} >> {shift - 1}) & 1 != 0")
+        else:
+            out.append(f"_s = {b} & 15")
+            if op == Op.SLL:
+                out.append(f"_res = ({a} << _s) & 65535")
+                if "c" in live:
+                    out.append(f"_f.c = (({a} >> (16 - _s)) & 1 != 0) "
+                               "if _s else False")
+            else:
+                out.append(f"_res = ({a} >> _s) & 65535")
+                if "c" in live:
+                    out.append(f"_f.c = (({a} >> (_s - 1)) & 1 != 0) "
+                               "if _s else False")
+    elif op == Op.MUL:
+        out.append(f"_t = {a} * {b}")
+        out.append("_res = _t & 65535")
+        if "v" in live:
+            out.append("_f.v = _t > 65535")
+    else:  # pragma: no cover - discovery admits only the ops above
+        raise ValueError(f"cannot fuse opcode {op!r}")
+
+    if "z" in live:
+        out.append("_f.z = _res == 0")
+    if "n" in live:
+        out.append("_f.n = _res & 32768 != 0")
+
+    if dst_mem:
+        out += _dest_side_effect(instr)
+    else:
+        out.append(f"_r[{instr.dreg}] = _res")
+    return out
+
+
+def _dest_side_effect(instr: Instruction) -> list[str]:
+    # The store address comes from the preview-phase translation; only
+    # the post-increment pointer update remains to apply here.
+    if instr.dmode == DstMode.IND_POSTINC:
+        return [f"_r[{instr.dreg}] = (_r[{instr.dreg}] + 1) & 65535"]
+    return []
+
+
+# ---------------------------------------------------------------------------
+# Source generation.
+# ---------------------------------------------------------------------------
+
+class _Writer:
+    __slots__ = ("lines",)
+
+    def __init__(self):
+        self.lines: list[str] = []
+
+    def add(self, indent: int, text: str) -> None:
+        self.lines.append("    " * indent + text)
+
+    def block(self, indent: int, lines) -> None:
+        for line in lines:
+            self.lines.append("    " * indent + line)
+
+
+def _address_lines(instr: Instruction) -> list[str]:
+    """Effective-address computation (``_ra``/``_wa``), preview order."""
+    slot = _mem_src_slot(instr)
+    dst_mem = instr.dmode != DstMode.REG
+    dreg = instr.dreg
+    out: list[str] = []
+    if slot == 0:
+        # Write-only preview.
+        if instr.dmode == DstMode.IND_IDX:
+            out.append(f"_wa = (_r[{dreg}] + _r[{REG_XR}]) & 65535")
+        else:
+            out.append(f"_wa = _r[{dreg}]")
+        return out
+    mode = instr.s1mode if slot == 1 else instr.s2mode
+    pointer = instr.s1val if slot == 1 else instr.s2val
+    delta = _PTR_DELTA.get(mode, 0)
+    sign = "+" if delta > 0 else "-"
+    pre = mode in _SRC_PRE
+    idx = mode == SrcMode.IND_IDX
+    if not dst_mem:
+        # Read-only preview.
+        if idx:
+            out.append(f"_ra = (_r[{pointer}] + _r[{REG_XR}]) & 65535")
+        elif pre:
+            out.append(f"_ra = (_r[{pointer}] {sign} 1) & 65535")
+        else:
+            out.append(f"_ra = _r[{pointer}]")
+        return out
+    # Read + write: the source's pointer update is virtually visible to
+    # the destination address when the registers alias.
+    if pre:
+        out.append(f"_vp = (_r[{pointer}] {sign} 1) & 65535")
+        out.append("_ra = _vp")
+    elif idx:
+        out.append(f"_vp = _r[{pointer}]")
+        out.append(f"_ra = (_vp + _r[{REG_XR}]) & 65535")
+    else:
+        out.append(f"_vp = _r[{pointer}]")
+        out.append("_ra = _vp")
+        if delta:
+            out.append(f"_vp = (_vp {sign} 1) & 65535")
+    base = "_vp" if dreg == pointer else f"_r[{dreg}]"
+    if instr.dmode == DstMode.IND_IDX:
+        index_reg = "_vp" if pointer == REG_XR else f"_r[{REG_XR}]"
+        out.append(f"_wa = ({base} + {index_reg}) & 65535")
+    else:
+        out.append(f"_wa = {base}")
+    return out
+
+
+def _generate_source(block: Block, env: tuple) -> str:
+    """The complete ``_build`` module source for one environment.
+
+    ``env`` is ``(pwc, pwb, swb, shared_words, dm_banks, data_broadcast)``
+    — exactly the geometry the engine's per-cycle preview consults.
+    """
+    fast = _generate_variant(block, env, observed=False)
+    obs = _generate_variant(block, env, observed=True)
+    lines = ["def _build(_layout, _cb, _sto, _rbs, _ros, _wbs, _wos,"
+             " _drb, _dro, _dwb, _dwo):"]
+    lines.append("    def _run_fast(_cores, _mt, _mp, _ms, _dlast, _dtr,"
+                 " _acc, _maxj):")
+    lines.extend("        " + line for line in fast)
+    lines.append("    def _run_obs(_cores, _mt, _mp, _ms, _dlast, _dtr,"
+                 " _acc, _c0, _emit, _apm, _emm, _apd, _pdb):")
+    lines.extend("        " + line for line in obs)
+    lines.append("    return _run_fast, _run_obs")
+    return "\n".join(lines) + "\n"
+
+
+def _generate_variant(block: Block, env: tuple, observed: bool) -> list[str]:
+    handlers = block.handlers
+    instrs = block.instrs
+    n_body = block.n_body
+    live = _live_flag_bits(block)
+
+    # Tight-loop fusion: when the terminator is a branch whose constant
+    # taken-PC is the block's own start, the *fast* variant iterates the
+    # whole loop inside one call while every core keeps taking it (and
+    # the cycle budget holds), amortising all per-entry overhead over
+    # the loop's run.  The observed variant stays single-pass: its
+    # per-cycle probe payloads are synthesised by the engine per entry.
+    loop = (not observed) and _self_loop_target(block) == block.start \
+        and block.total > 0
+    writer = _Writer()
+
+    if loop:
+        writer.add(0, "_n = len(_cores)")
+        writer.add(0, "_j = 0")
+        writer.add(0, "while True:")
+        base = 1
+    else:
+        base = 0
+        if any(handlers[t].preview is not None for t in range(n_body)):
+            writer.add(0, "_n = len(_cores)")
+
+    inner = _Writer()
+    position = 0
+    while position < n_body:
+        if handlers[position].preview is None:
+            segment = [position]
+            position += 1
+            while position < n_body and handlers[position].preview is None:
+                segment.append(position)
+                position += 1
+            _emit_alu_segment(inner, instrs, live, segment)
+        else:
+            _emit_mem_step(inner, block, env, position, live[position],
+                           observed, loop)
+            position += 1
+
+    _emit_terminator(inner, block, loop)
+    writer.block(base, inner.lines)
+    return writer.lines
+
+
+def _emit_alu_segment(writer: _Writer, instrs, live, segment) -> None:
+    needs_flags = any(live[t] for t in segment)
+    writer.add(0, "for _c in _cores:")
+    writer.add(1, "_r = _c.regs")
+    if needs_flags:
+        writer.add(1, "_f = _c.flags")
+    for t in segment:
+        writer.block(1, _semantic_lines(instrs[t], live[t]))
+
+
+def _self_loop_target(block: Block):
+    """The constant taken-PC of a ``BR`` terminator, or ``None``.
+
+    Register-indirect branches resolve at run time and never self-loop
+    statically.
+    """
+    if block.terminator != "br":
+        return None
+    instr = block.instrs[-1]
+    branch_pc = (block.start + block.n_body) & _PC_MASK
+    if instr.bmode == BranchMode.DIR:
+        return instr.target & _PC_MASK
+    if instr.bmode == BranchMode.REL:
+        return (branch_pc + instr.target) & _PC_MASK
+    return None
+
+
+def _raise_fixup_lines(block: Block, offset: int, loop: bool) -> list[str]:
+    """Patch committed PC/retired and record depth before a fault raise.
+
+    Inside a self-loop the committed depth is ``_j`` full-iteration
+    cycles plus the current offset; PC and the per-iteration retired
+    increment stay compile-time constants because every iteration starts
+    at the block head.
+    """
+    depth = f"_j + {offset}" if loop else str(offset)
+    out = [f"_acc[6] = {depth}"]
+    if offset:
+        out.append("for _cx in _cores:")
+        out.append(f"    _cx.pc = {(block.start + offset) & _PC_MASK}")
+        out.append(f"    _cx.retired += {offset}")
+    return out
+
+
+def _emit_translate(writer: _Writer, indent: int, block: Block, env: tuple,
+                    offset: int, kind: str, observed: bool,
+                    loop: bool) -> None:
+    """One address translation, engine order: count, fault, map, probe.
+
+    ``kind`` is ``'r'`` or ``'w'``; reads use ``_ra``/``_rb``/``_ro``
+    and fill ``_rbs``/``_ros``, writes likewise.
+    """
+    pwc, pwb, swb, shared_words, dbn, _bcast = env
+    addr = f"_{kind}a"
+    bank = f"_{kind}b"
+    off = f"_{kind}o"
+    dest_b = "_rbs" if kind == "r" else "_wbs"
+    dest_o = "_ros" if kind == "r" else "_wos"
+    fixup = _raise_fixup_lines(block, offset, loop)
+    writer.add(indent, "_mt[_p] += 1")
+    writer.add(indent, f"if {addr} >= {PRIVATE_BASE}:")
+    writer.add(indent + 1, "_mp[_p] += 1")
+    writer.add(indent + 1, f"_o = {addr} - {PRIVATE_BASE}")
+    writer.add(indent + 1, f"if _o >= {pwc}:")
+    writer.block(indent + 2, fixup)
+    writer.add(indent + 2, f"_layout.translate(_p, {addr})")
+    writer.add(indent + 1, f"{bank} = _cb[_p][_o // {pwb}]")
+    writer.add(indent + 1, f"{off} = {swb} + _o % {pwb}")
+    if observed:
+        writer.add(indent + 1, "if _apm is not None:")
+        writer.add(indent + 2, "_apm(True)")
+    writer.add(indent, "else:")
+    writer.add(indent + 1, "_ms[_p] += 1")
+    writer.add(indent + 1, f"if {addr} >= {shared_words}:")
+    writer.block(indent + 2, fixup)
+    writer.add(indent + 2, f"_layout.translate(_p, {addr})")
+    writer.add(indent + 1, f"{bank} = {addr} % {dbn}")
+    writer.add(indent + 1, f"{off} = {addr} // {dbn}")
+    writer.add(indent + 1, "_allp = False")
+    if observed:
+        writer.add(indent + 1, "if _apm is not None:")
+        writer.add(indent + 2, "_apm(False)")
+    writer.add(indent, f"{dest_b}[_i] = {bank}")
+    writer.add(indent, f"{dest_o}[_i] = {off}")
+    if observed:
+        writer.add(indent, "if _emm:")
+        writer.add(indent + 1, f'_emit("mmu.translate", _cy, _p, {addr}, '
+                               f'{bank}, {off}, {addr} >= {PRIVATE_BASE})')
+
+
+def _emit_conflict_exit(writer: _Writer, indent: int, block: Block,
+                        offset: int, reads: bool, writes: bool,
+                        loop: bool) -> None:
+    """Fill the engine's pid-indexed prefill arrays and return depth.
+
+    ``_acc[7]`` records the conflicting offset *within* the block so the
+    engine can pick the right handler for the attempt prefill — the
+    return value alone cannot distinguish a conflict from completion
+    once self-loops commit more than one iteration per call.
+    """
+    writer.add(indent, f"_acc[7] = {offset}")
+    writer.add(indent, "_x = 0")
+    writer.add(indent, "for _c in _cores:")
+    writer.add(indent + 1, "_q = _c.pid")
+    if reads:
+        writer.add(indent + 1, "_drb[_q] = _rbs[_x]")
+        writer.add(indent + 1, "_dro[_q] = _ros[_x]")
+    else:
+        writer.add(indent + 1, "_drb[_q] = -1")
+    if writes:
+        writer.add(indent + 1, "_dwb[_q] = _wbs[_x]")
+        writer.add(indent + 1, "_dwo[_q] = _wos[_x]")
+    else:
+        writer.add(indent + 1, "_dwb[_q] = -1")
+    if offset:
+        writer.add(indent + 1,
+                   f"_c.pc = {(block.start + offset) & _PC_MASK}")
+        writer.add(indent + 1, f"_c.retired += {offset}")
+    writer.add(indent + 1, "_x += 1")
+    writer.add(indent, f"return _j + {offset}" if loop
+               else f"return {offset}")
+
+
+def _emit_mem_step(writer: _Writer, block: Block, env: tuple, offset: int,
+                   live: set, observed: bool, loop: bool) -> None:
+    _pwc, _pwb, _swb, _shared, _dbn, bcast = env
+    instr = block.instrs[offset]
+    handler = block.handlers[offset]
+    reads = handler.reads_mem
+    writes = handler.writes_mem
+
+    if observed:
+        writer.add(0, f"_cy = _c0 + {offset}")
+
+    # ---- phase A: addresses + translation for every core ----
+    writer.add(0, "_allp = True")
+    writer.add(0, "_i = 0")
+    writer.add(0, "for _c in _cores:")
+    writer.add(1, "_r = _c.regs")
+    writer.add(1, "_p = _c.pid")
+    writer.block(1, _address_lines(instr))
+    if reads:
+        _emit_translate(writer, 1, block, env, offset, "r", observed, loop)
+    if writes:
+        _emit_translate(writer, 1, block, env, offset, "w", observed, loop)
+    writer.add(1, "_i += 1")
+
+    # ---- verdict: replicate the engine's per-cycle conflict proof ----
+    # Private banks are disjoint across cores and private offsets
+    # (>= shared_words_per_bank) never equal shared offsets, so an
+    # all-private cycle can only conflict core-locally (read bank ==
+    # write bank of the same core).
+    broadcast_loop = False
+    if reads and writes:
+        writer.add(0, "if _allp:")
+        writer.add(1, "_x = 0")
+        writer.add(1, "while _x < _n:")
+        writer.add(2, "if _rbs[_x] == _wbs[_x]:")
+        _emit_conflict_exit(writer, 3, block, offset, reads,
+                            writes, loop)
+        writer.add(2, "_x += 1")
+        writer.add(1, "_acc[0] += 2 * _n")
+        writer.add(0, "else:")
+        writer.add(1, "_map = {}")
+        writer.add(1, "_confl = False")
+        writer.add(1, "_x = 0")
+        writer.add(1, "while _x < _n:")
+        writer.add(2, "_b = _rbs[_x]")
+        writer.add(2, "_e = _map.get(_b)")
+        writer.add(2, "if _e is None:")
+        writer.add(3, "_map[_b] = [_ros[_x], 1, False]")
+        if bcast:
+            writer.add(2, "elif _e[2] or _e[0] != _ros[_x]:")
+            writer.add(3, "_confl = True")
+            writer.add(2, "else:")
+            writer.add(3, "_e[1] += 1")
+        else:
+            writer.add(2, "else:")
+            writer.add(3, "_confl = True")
+        writer.add(2, "_b = _wbs[_x]")
+        writer.add(2, "if _b in _map:")
+        writer.add(3, "_confl = True")
+        writer.add(2, "else:")
+        writer.add(3, "_map[_b] = [0, 0, True]")
+        writer.add(2, "_x += 1")
+        writer.add(1, "if _confl:")
+        _emit_conflict_exit(writer, 2, block, offset, reads,
+                            writes, loop)
+        writer.add(1, "_acc[0] += len(_map)")
+        broadcast_loop = bcast
+    elif reads:
+        writer.add(0, "if _allp:")
+        writer.add(1, "_acc[0] += _n")
+        writer.add(0, "else:")
+        writer.add(1, "_map = {}")
+        writer.add(1, "_confl = False")
+        writer.add(1, "_x = 0")
+        writer.add(1, "while _x < _n:")
+        writer.add(2, "_b = _rbs[_x]")
+        writer.add(2, "_e = _map.get(_b)")
+        writer.add(2, "if _e is None:")
+        writer.add(3, "_map[_b] = [_ros[_x], 1]")
+        if bcast:
+            writer.add(2, "elif _e[0] != _ros[_x]:")
+            writer.add(3, "_confl = True")
+            writer.add(2, "else:")
+            writer.add(3, "_e[1] += 1")
+        else:
+            writer.add(2, "else:")
+            writer.add(3, "_confl = True")
+        writer.add(2, "_x += 1")
+        writer.add(1, "if _confl:")
+        _emit_conflict_exit(writer, 2, block, offset, reads,
+                            writes, loop)
+        writer.add(1, "_acc[0] += len(_map)")
+        broadcast_loop = bcast
+    else:  # write-only: writes never merge, bank uniqueness decides
+        writer.add(0, "if _allp:")
+        writer.add(1, "_acc[0] += _n")
+        writer.add(0, "else:")
+        writer.add(1, "_st = set()")
+        writer.add(1, "_x = 0")
+        writer.add(1, "while _x < _n:")
+        writer.add(2, "_st.add(_wbs[_x])")
+        writer.add(2, "_x += 1")
+        writer.add(1, "if len(_st) != _n:")
+        _emit_conflict_exit(writer, 2, block, offset, reads,
+                            writes, loop)
+        writer.add(1, "_acc[0] += _n")
+
+    if broadcast_loop:
+        # Same-address read merges: broadcast counters + probe events.
+        writer.add(1, "for _b2, _e in _map.items():")
+        writer.add(2, "_w = _e[1]")
+        writer.add(2, "if _w > 1:")
+        writer.add(3, "_acc[2] += 1")
+        writer.add(3, "_acc[3] += _w - 1")
+        if observed:
+            writer.add(3, "if _apd is not None:")
+            writer.add(4, "_apd(_w)")
+            writer.add(3, "elif _pdb:")
+            writer.add(4, '_emit("dm.broadcast", _cy, _b2, _w)')
+
+    # ---- phase B: commit every core ----
+    writer.add(0, "_x = 0")
+    writer.add(0, "for _c in _cores:")
+    writer.add(1, "_r = _c.regs")
+    writer.add(1, "_p = _c.pid")
+    if live:
+        writer.add(1, "_f = _c.flags")
+    if reads:
+        writer.add(1, "_b = _rbs[_x]")
+        writer.add(1, "_dl = _dlast[_p]")
+        writer.add(1, "if _dl is not None and _dl != _b:")
+        writer.add(2, "_dtr[_p] += 1")
+        writer.add(1, "_dlast[_p] = _b")
+        writer.add(1, "_v = _sto[_b][_ros[_x]]")
+    writer.block(1, _semantic_lines(instr, live))
+    if writes:
+        writer.add(1, "_b = _wbs[_x]")
+        writer.add(1, "_dl = _dlast[_p]")
+        writer.add(1, "if _dl is not None and _dl != _b:")
+        writer.add(2, "_dtr[_p] += 1")
+        writer.add(1, "_dlast[_p] = _b")
+        writer.add(1, "_sto[_b][_wos[_x]] = _res")
+    writer.add(1, "_x += 1")
+
+    accesses = int(reads) + int(writes)
+    writer.add(0, f"_acc[1] += {accesses} * _n")
+    if reads:
+        writer.add(0, "_acc[4] += _n")
+    if writes:
+        writer.add(0, "_acc[5] += _n")
+
+
+def _emit_terminator(writer: _Writer, block: Block, loop: bool) -> None:
+    n_body = block.n_body
+    start = block.start
+    kind = block.terminator
+    if kind is None:
+        writer.add(0, "for _c in _cores:")
+        writer.add(1, f"_c.pc = {(start + n_body) & _PC_MASK}")
+        writer.add(1, f"_c.retired += {n_body}")
+        writer.add(0, f"return {n_body}")
+        return
+    if kind == "hlt":
+        writer.add(0, "for _c in _cores:")
+        if n_body:
+            writer.add(1, f"_c.pc = {(start + n_body) & _PC_MASK}")
+        writer.add(1, "_c.halted = True")
+        writer.add(1, f"_c.retired += {n_body + 1}")
+        writer.add(0, f"return {n_body + 1}")
+        return
+    instr = block.instrs[-1]
+    branch_pc = (start + n_body) & _PC_MASK
+    if instr.bmode == BranchMode.DIR:
+        taken = str(instr.target & _PC_MASK)
+        need_regs = False
+    elif instr.bmode == BranchMode.REL:
+        taken = str((branch_pc + instr.target) & _PC_MASK)
+        need_regs = False
+    else:  # BranchMode.IND
+        taken = f"_r[{instr.target}] & {_PC_MASK}"
+        need_regs = True
+    not_taken = (branch_pc + 1) & _PC_MASK
+    total = n_body + 1
+    if loop:
+        # Self-loop: keep iterating while every core takes the
+        # back-branch and another full iteration fits the budget.
+        if instr.cond == Cond.AL:
+            writer.add(0, "for _c in _cores:")
+            writer.add(1, f"_c.pc = {taken}")
+            writer.add(1, f"_c.retired += {total}")
+            writer.add(0, f"_j += {total}")
+            writer.add(0, f"if _j + {total} > _maxj:")
+            writer.add(1, "return _j")
+        else:
+            writer.add(0, "_tk = 0")
+            writer.add(0, "for _c in _cores:")
+            writer.add(1, "_f = _c.flags")
+            writer.add(1, f"if {_COND_EXPR[instr.cond]}:")
+            writer.add(2, f"_c.pc = {taken}")
+            writer.add(2, "_tk += 1")
+            writer.add(1, "else:")
+            writer.add(2, f"_c.pc = {not_taken}")
+            writer.add(1, f"_c.retired += {total}")
+            writer.add(0, f"_j += {total}")
+            writer.add(0, f"if _tk != _n or _j + {total} > _maxj:")
+            writer.add(1, "return _j")
+        return
+    writer.add(0, "for _c in _cores:")
+    if need_regs:
+        writer.add(1, "_r = _c.regs")
+    if instr.cond == Cond.AL:
+        writer.add(1, f"_c.pc = {taken}")
+    else:
+        writer.add(1, "_f = _c.flags")
+        writer.add(1, f"if {_COND_EXPR[instr.cond]}:")
+        writer.add(2, f"_c.pc = {taken}")
+        writer.add(1, "else:")
+        writer.add(2, f"_c.pc = {not_taken}")
+    writer.add(1, f"_c.retired += {n_body + 1}")
+    writer.add(0, f"return {n_body + 1}")
+
+
+
+# ---------------------------------------------------------------------------
+# Loop traces: cyclic block-graph paths fused into one looping callable.
+# ---------------------------------------------------------------------------
+#
+# The block layer amortises dispatch over one straight-line run, but the
+# hot loops of the evaluated kernels are *cycles in the block graph*
+# (short blocks chained by conditional branches), so every few cycles
+# still pay one full engine entry.  A :class:`Trace` fuses one such
+# cycle — anchored at a hot block, optionally *forking into the two arms
+# of the anchor's branch* and rejoining at the anchor — into a single
+# generated function that keeps iterating while every running core stays
+# on the traced paths in lockstep.  Key properties:
+#
+# * per-core scalar execution: each core runs a whole iteration back to
+#   back with registers, flags and the data-crossbar last-bank held in
+#   scalar locals, so the interleaved per-cycle phase loops of the block
+#   variant disappear;
+# * two-arm support: a data-dependent branch at the anchor (the shape
+#   Huffman bit loops produce) compiles both directions; each iteration
+#   all cores must take the *same* arm — core 0 picks, disagreement
+#   bails;
+# * every branch is a *guard*: the iteration aborts the moment any core
+#   leaves the traced direction, including the final back-edge.  Traces
+#   therefore only ever commit whole iterations, all of them lockstep,
+#   all data accesses private, provably conflict-free;
+# * rollback on abort: register files are snapshotted per iteration,
+#   data-memory writes kept in an undo log, flag/last-bank boundary
+#   values double-buffered — a guard divergence, address fault or
+#   shared-memory access restores the last committed iteration boundary
+#   exactly and returns the committed cycle count (0 = decline); the
+#   engine replays the rest through the per-block/per-cycle paths;
+# * statistics folded at exit as compile-time constants times the
+#   per-arm iteration counts (committed iterations of one arm are
+#   identical by construction).
+#
+# Traces never raise and never handle conflicts: anything outside the
+# proven iteration shape is someone else's cycle.
+
+#: Cap on the number of instructions one trace iteration may fuse
+#: (anchor plus the longer arm).
+MAX_TRACE_INSTRS = 192
+
+#: Cap on chained blocks per arm.
+MAX_TRACE_BLOCKS = 8
+
+
+def _scalarize(lines):
+    """Rewrite ``_r[N]`` -> ``_gN`` and ``_f.x`` -> ``_fx`` in template
+    output, turning the register-file/flags-object forms of the shared
+    semantic generators into scalar-local forms."""
+    out = []
+    for line in lines:
+        line = re.sub(r"_r\[(\d+)\]", r"_g\1", line)
+        out.append(line.replace("_f.", "_f"))
+    return out
+
+
+def _sc_cond(cond: Cond) -> str:
+    return _COND_EXPR[cond].replace("_f.", "_f")
+
+
+def _branch_targets(instr: Instruction, branch_pc: int) -> tuple[int, int]:
+    """(taken, fallthrough) PCs of a direct/relative branch."""
+    if instr.bmode == BranchMode.DIR:
+        taken = instr.target & _PC_MASK
+    else:
+        taken = (branch_pc + instr.target) & _PC_MASK
+    return taken, (branch_pc + 1) & _PC_MASK
+
+
+class _Arm:
+    """One path from the anchor's branch back to the anchor."""
+
+    __slots__ = ("expected", "cells", "pcs")
+
+    def __init__(self, expected, cells, pcs):
+        self.expected = expected  # anchor branch direction entering it
+        self.cells = cells
+        self.pcs = tuple(pcs)
+
+
+class Trace:
+    """One anchored loop shape plus its per-environment callables.
+
+    ``prefix_cells`` covers the anchor block's body; ``split`` is the
+    anchor's terminator (a guard for one-arm traces, a runtime arm
+    select for two-arm traces); each :class:`_Arm` chains zero or more
+    blocks whose terminators are all guards, the last one expected to
+    return to ``start``.  Cells are ``("alu", instr)``,
+    ``("read", instr)``, ``("write", instr)`` or
+    ``("guard", instr, expected_taken)``.
+    """
+
+    __slots__ = ("start", "prefix_cells", "prefix_pcs", "split", "arms",
+                 "percore_regs", "percore_flags",
+                 "periods", "max_period", "_sources", "_codes")
+
+    def __init__(self, start, prefix_cells, prefix_pcs, split, arms,
+                 percore_regs=frozenset(), percore_flags=frozenset()):
+        self.start = start
+        self.prefix_cells = prefix_cells
+        self.prefix_pcs = tuple(prefix_pcs)  # includes the split cycle
+        self.split = split
+        self.arms = arms
+        self.percore_regs = frozenset(percore_regs)
+        self.percore_flags = frozenset(percore_flags)
+        self.periods = tuple(len(self.prefix_pcs) + len(arm.pcs)
+                             for arm in arms)
+        self.max_period = max(self.periods)
+        self._sources: dict[tuple, str] = {}
+        self._codes: dict[tuple, object] = {}
+
+    def arm_pcs(self, index: int) -> tuple:
+        """Full fetch-PC sequence of one iteration through arm ``index``."""
+        return self.prefix_pcs + self.arms[index].pcs
+
+    def arm_counts(self, index: int) -> tuple[int, int]:
+        """(reads, writes) of one iteration through arm ``index``."""
+        cells = list(self.prefix_cells) + list(self.arms[index].cells)
+        return (sum(1 for cell in cells if cell[0] == "read"),
+                sum(1 for cell in cells if cell[0] == "write"))
+
+    def source(self, env: tuple) -> str:
+        src = self._sources.get(env)
+        if src is None:
+            src = _generate_trace_source(self, env)
+            self._sources[env] = src
+        return src
+
+    def code(self, env: tuple):
+        code = self._codes.get(env)
+        if code is None:
+            code = _compile_cached(
+                self.source(env),
+                f"<trace {self.start:#x}x{self.max_period}>")
+            self._codes[env] = code
+        return code
+
+    def build(self, env: tuple, layout, core_banks, storages):
+        namespace: dict = {}
+        exec(self.code(env), namespace)
+        return namespace["_build"](layout, core_banks, storages)
+
+
+def _body_cells(block: Block, base_pc: int):
+    """Body cells + fetch PCs of one block, or ``None`` if unfusable."""
+    cells: list[tuple] = []
+    pcs: list[int] = []
+    for t in range(block.n_body):
+        handler = block.handlers[t]
+        instr = block.instrs[t]
+        if handler.preview is None:
+            cells.append(("alu", instr))
+        elif handler.reads_mem and handler.writes_mem:
+            return None  # same-core two-port access: conflict-prone
+        elif handler.reads_mem:
+            cells.append(("read", instr))
+        else:
+            cells.append(("write", instr))
+        pcs.append((base_pc + t) & _PC_MASK)
+    return cells, pcs
+
+
+def build_trace(anchor: Block, arms_spec, percore_regs=(),
+                percore_flags=()) -> "Trace | None":
+    """Fuse an anchored loop shape into a :class:`Trace`.
+
+    ``arms_spec`` is ``[(split_expected, chain), ...]`` with one or two
+    entries; each ``chain`` is ``[(block, expected_taken), ...]`` (zero
+    or more blocks whose terminators are all direct/relative branches),
+    the last expected direction returning to ``anchor.start``.
+    ``percore_regs``/``percore_flags`` name state observed to differ
+    across the lockstep cores at build time — the seed for the uniform
+    specialisation's dataflow split.  Returns ``None`` on any construct
+    the trace compiler rejects.
+    """
+    if anchor.terminator != "br" or not 1 <= len(arms_spec) <= 2:
+        return None
+    split = anchor.instrs[-1]
+    if split.bmode == BranchMode.IND:
+        return None
+    if len(arms_spec) == 2:
+        if {spec[0] for spec in arms_spec} != {True, False}:
+            return None
+        arms_spec = sorted(arms_spec, key=lambda spec: not spec[0])
+    if split.cond == Cond.AL and not arms_spec[0][0]:
+        return None
+    prefix = _body_cells(anchor, anchor.start)
+    if prefix is None:
+        return None
+    prefix_cells, prefix_pcs = prefix
+    prefix_pcs.append((anchor.start + anchor.n_body) & _PC_MASK)
+    arms = []
+    for expected, chain in arms_spec:
+        cells: list[tuple] = []
+        pcs: list[int] = []
+        for block, taken in chain:
+            if block.terminator != "br":
+                return None
+            instr = block.instrs[-1]
+            if instr.bmode == BranchMode.IND \
+                    or (instr.cond == Cond.AL and not taken):
+                return None
+            body = _body_cells(block, block.start)
+            if body is None:
+                return None
+            cells += body[0]
+            pcs += body[1]
+            cells.append(("guard", instr, taken))
+            pcs.append((block.start + block.n_body) & _PC_MASK)
+        if len(prefix_pcs) + len(pcs) > MAX_TRACE_INSTRS:
+            return None
+        arms.append(_Arm(expected, cells, pcs))
+    return Trace(anchor.start, prefix_cells, prefix_pcs, split, arms,
+                 percore_regs, percore_flags)
+
+
+def _seq_flag_emits(cells):
+    """Per-cell flag bits to store, over one linear cell sequence.
+
+    Liveness is conservative at the sequence end (every bit may be
+    observed after the iteration); inside it a store is dead when a
+    later instruction overwrites the bit before any guard reads it.
+    """
+    live = set("cvzn")
+    emits: list[set] = [set()] * len(cells)
+    for t in range(len(cells) - 1, -1, -1):
+        cell = cells[t]
+        if cell[0] == "guard":
+            if cell[1].cond != Cond.AL:
+                live |= set(_COND_BITS[cell[1].cond])
+        else:
+            written = set(_FLAG_BITS[cell[1].op])
+            emits[t] = written & live
+            live -= written
+    return emits
+
+
+def _trace_flag_plan(trace: Trace):
+    """(prefix_emits, per-arm emits, loads, stores) for one trace.
+
+    Prefix cells take the union of their per-arm emit sets (an extra
+    store of a correct value is never wrong).  ``loads`` pulls every
+    stored or guard-read bit into scalars at iteration start, so the
+    boundary buffers always hold current values whichever arm ran.
+    """
+    n_prefix = len(trace.prefix_cells)
+    prefix_emits = [set() for __ in range(n_prefix)]
+    arm_emits = []
+    guard_bits: set = set()
+    if trace.split.cond != Cond.AL:
+        guard_bits |= set(_COND_BITS[trace.split.cond])
+    for arm in trace.arms:
+        seq = list(trace.prefix_cells) \
+            + [("guard", trace.split, arm.expected)] \
+            + list(arm.cells)
+        emits = _seq_flag_emits(seq)
+        for t in range(n_prefix):
+            prefix_emits[t] |= emits[t]
+        arm_emits.append(emits[n_prefix + 1:])
+        for cell in arm.cells:
+            if cell[0] == "guard" and cell[1].cond != Cond.AL:
+                guard_bits |= set(_COND_BITS[cell[1].cond])
+    stores = set().union(*prefix_emits, *(s for em in arm_emits
+                                          for s in em)) \
+        if (prefix_emits or arm_emits) else set()
+    loads = stores | guard_bits
+    return prefix_emits, arm_emits, sorted(loads), sorted(stores)
+
+
+
+
+def _read_cell_lines(instr, emit, env, k: int):
+    """One read cell: private fast path plus (when the crossbar can
+    broadcast) a shared path requiring every core to load the *same*
+    address core 0 loaded — the lockstep-broadcast shape coefficient
+    and input-sample loops produce.  Anything else bails.
+
+    ``_c{k}``/``_sa{k}`` carry core 0's verdict (shared? which address)
+    to the other cores; the commit section folds the per-iteration
+    statistics from the same flags.
+    """
+    pwc, pwb, swb, shared_words, dbn, data_broadcast = env
+    lines = _scalarize(_address_lines(instr))
+    lines += [
+        "_o = _ra - %d" % PRIVATE_BASE,
+        "if _o >= 0:",
+        "    if _o >= %d:" % pwc,
+        "        _bail = True",
+        "        break",
+    ]
+    if data_broadcast:
+        lines += [
+            "    if _x:",
+            f"        if _c{k}:",
+            "            _bail = True",
+            "            break",
+            "    else:",
+            f"        _c{k} = False",
+            "    _bk = _cbp[_o // %d]" % pwb,
+            "    _vo = %d + _o %% %d" % (swb, pwb),
+            "else:",
+            "    if _ra >= %d:" % shared_words,
+            "        _bail = True",
+            "        break",
+            "    if _x:",
+            f"        if not _c{k} or _ra != _sa{k}:",
+            "            _bail = True",
+            "            break",
+            "    else:",
+            f"        _c{k} = True",
+            f"        _sa{k} = _ra",
+            "    _bk = _ra %% %d" % dbn,
+            "    _vo = _ra // %d" % dbn,
+        ]
+    else:
+        lines += [
+            "    _bk = _cbp[_o // %d]" % pwb,
+            "    _vo = %d + _o %% %d" % (swb, pwb),
+            "else:",
+            "    _bail = True",
+            "    break",
+        ]
+    lines += [
+        "if _dl is not None and _dl != _bk:",
+        "    _dt += 1",
+        "_dl = _bk",
+        "_v = _sto[_bk][_vo]",
+    ]
+    lines += _scalarize(_semantic_lines(instr, emit))
+    return lines
+
+
+def _write_cell_lines(instr, emit, env, undo: bool):
+    """One write cell (private only: cross-core write-merge never
+    happens, and shared writes are rare enough to bail on).  The
+    address preview precedes the semantics — which apply the
+    destination's pointer side effect — exactly like the engine."""
+    pwc, pwb, swb = env[0], env[1], env[2]
+    lines = _scalarize(_address_lines(instr))
+    lines += _scalarize(_semantic_lines(instr, emit))
+    lines += [
+        "_o = _wa - %d" % PRIVATE_BASE,
+        "if _o < 0 or _o >= %d:" % pwc,
+        "    _bail = True",
+        "    break",
+        "_bk = _cbp[_o // %d]" % pwb,
+        "if _dl is not None and _dl != _bk:",
+        "    _dt += 1",
+        "_dl = _bk",
+        "_s2 = _sto[_bk]",
+        "_o2 = %d + _o %% %d" % (swb, pwb),
+    ]
+    if undo:
+        lines.append("_u.append((_s2, _o2, _s2[_o2]))")
+    lines.append("_s2[_o2] = _res")
+    return lines
+
+
+def _guard_lines(instr: Instruction, expected: bool):
+    if instr.cond == Cond.AL:
+        return []  # always taken; build_trace rejected expected=False
+    cond = _sc_cond(instr.cond)
+    return [
+        f"if not ({cond}):" if expected else f"if {cond}:",
+        "    _bail = True",
+        "    break",
+    ]
+
+
+def _chunk_cells(cells, emits, env, undo_writes: bool, kctr):
+    """Chunks + bookkeeping for one linear cell run.
+
+    ``undo_writes`` forces undo logging on every store: with several
+    lockstep cores a *later* core's bail rolls back earlier cores'
+    completed cells, so any bail point anywhere in the iteration means
+    every write must be journalled.  ``kctr`` is the mutable
+    dynamic-read-cell counter.  Returns ``(chunks, dyn_read_ids)``.
+    """
+    data_broadcast = env[5]
+    chunks = []
+    dyn_ids = []
+    for t, cell in enumerate(cells):
+        kind = cell[0]
+        if kind == "guard":
+            chunks.append(_guard_lines(cell[1], cell[2]))
+        elif kind == "alu":
+            chunks.append(_scalarize(_semantic_lines(cell[1], emits[t])))
+        elif kind == "read":
+            k = kctr[0]
+            kctr[0] += 1
+            if data_broadcast:
+                dyn_ids.append(k)
+            chunks.append(_read_cell_lines(cell[1], emits[t], env, k))
+        else:
+            chunks.append(_write_cell_lines(cell[1], emits[t], env,
+                                            undo_writes))
+    return chunks, dyn_ids
+
+
+_REG_REF = re.compile(r"_g(\d+)")
+
+
+def _trace_reg_plan(all_chunks):
+    """(loads, stores): every referenced register is loaded into a
+    scalar at iteration start and every assigned one written back at
+    the commit — simple and arm-agnostic (a register written in one arm
+    only is stored back unchanged when the other arm runs)."""
+    loads: set[int] = set()
+    stores: set[int] = set()
+    for chunks in all_chunks:
+        for lines in chunks:
+            for line in lines:
+                for match in _REG_REF.finditer(line):
+                    loads.add(int(match.group(1)))
+                stripped = line.lstrip()
+                match = _REG_REF.match(stripped)
+                if match and stripped[match.end():].startswith(" = "):
+                    stores.add(int(match.group(1)))
+    return sorted(loads), sorted(stores)
+
+
+def _fold_expr(per_arm_counts, count_vars):
+    """``"3 * _ia + 5 * _ib"``-style constant fold, or ``None``."""
+    terms = [f"{count} * {var}"
+             for count, var in zip(per_arm_counts, count_vars) if count]
+    return " + ".join(terms) if terms else None
+
+
+def _emit_trace_variant(w: _Writer, trace: Trace, env: tuple,
+                        name: str) -> None:
+    """Emit the generic (fully per-core) trace body as ``name``."""
+    prefix_emits, arm_emits, flag_loads, flag_stores = \
+        _trace_flag_plan(trace)
+    two_arm = len(trace.arms) == 2
+    split_cond = trace.split.cond != Cond.AL
+    kctr = [0]
+    all_cells = list(trace.prefix_cells) \
+        + [cell for arm in trace.arms for cell in arm.cells]
+    cells_bail = any(
+        cell[0] in ("read", "write")
+        or (cell[0] == "guard" and cell[1].cond != Cond.AL)
+        for cell in all_cells)
+    any_bail = cells_bail or split_cond or two_arm
+    any_write = any(cell[0] == "write" for cell in all_cells)
+    any_undo = any_bail and any_write
+    prefix_chunks, prefix_dyn = _chunk_cells(
+        trace.prefix_cells, prefix_emits, env, any_undo, kctr)
+    arm_chunks = []
+    arm_dyn = []
+    for arm, emits in zip(trace.arms, arm_emits):
+        chunks, dyn_ids = _chunk_cells(arm.cells, emits, env, any_undo,
+                                       kctr)
+        arm_chunks.append(chunks)
+        arm_dyn.append(dyn_ids)
+    reads = [trace.arm_counts(k)[0] for k in range(len(trace.arms))]
+    writes = [trace.arm_counts(k)[1] for k in range(len(trace.arms))]
+    accesses = [r + w for r, w in zip(reads, writes)]
+    data_broadcast = env[5]
+    any_mem = any(accesses)
+    dyn = data_broadcast and any(reads)
+    # Per-arm private accesses folded as constants: writes always, and
+    # reads too when the crossbar cannot broadcast (those cells bail on
+    # anything shared, so committed ones are private by construction).
+    const_priv = list(writes) if dyn else list(accesses)
+    reg_loads, reg_stores = _trace_reg_plan([prefix_chunks] + arm_chunks)
+    count_vars = ("_ia", "_ib") if two_arm else ("_it",)
+
+    def _dyn_fold(w, indent, ids):
+        for k in ids:
+            w.add(indent, f"if _c{k}:")
+            w.add(indent + 1, "_da += 1")
+            w.add(indent + 1, "_msh += 1")
+            w.add(indent + 1, "if _n > 1:")
+            w.add(indent + 2, "_db += 1")
+            w.add(indent + 2, "_dsv += _n - 1")
+            w.add(indent, "else:")
+            w.add(indent + 1, "_da += _n")
+            w.add(indent + 1, "_mpr += 1")
+
+    w.add(1, "def %s(_cores, _mt, _mp, _ms, _dlast, _dtr, _acc,"
+             " _maxj):" % name)
+    body = 2
+    w.add(body, "_n = len(_cores)")
+    if any_undo:
+        w.add(body, "_u = []")
+    if any_bail:
+        w.add(body, "_bsn = [None] * _n")
+    for bit in flag_loads:
+        w.add(body, f"_bf{bit} = []")
+    for bit in flag_stores:
+        w.add(body, f"_pf{bit} = []")
+    if any_mem:
+        w.add(body, "_bdl = []")
+        w.add(body, "_bdt = []")
+        w.add(body, "_pdl = []")
+        w.add(body, "_pdt = []")
+    if flag_loads or any_mem:
+        w.add(body, "for _c in _cores:")
+        if flag_loads:
+            w.add(body + 1, "_f = _c.flags")
+            for bit in flag_loads:
+                w.add(body + 1, f"_bf{bit}.append(_f.{bit})")
+            for bit in flag_stores:
+                w.add(body + 1, f"_pf{bit}.append(False)")
+        if any_mem:
+            w.add(body + 1, "_bdl.append(_dlast[_c.pid])")
+            w.add(body + 1, "_bdt.append(0)")
+            w.add(body + 1, "_pdl.append(0)")
+            w.add(body + 1, "_pdt.append(0)")
+    w.add(body, "_it = 0")
+    w.add(body, "_j = 0")
+    if two_arm:
+        w.add(body, "_ia = 0")
+        w.add(body, "_ib = 0")
+        w.add(body, "_la = 1")
+    if dyn:
+        w.add(body, "_da = 0")
+        w.add(body, "_db = 0")
+        w.add(body, "_dsv = 0")
+        w.add(body, "_mpr = 0")
+        w.add(body, "_msh = 0")
+    w.add(body, "while True:")
+    loop = body + 1
+    if any_undo:
+        w.add(loop, "del _u[:]")
+    if any_bail:
+        w.add(loop, "_bail = False")
+    w.add(loop, "_x = 0")
+    w.add(loop, "for _c in _cores:")
+    core = loop + 1
+    w.add(core, "_r = _c.regs")
+    if any_bail:
+        w.add(core, "_bsn[_x] = _r[:]")
+    if any_mem:
+        w.add(core, "_cbp = _cb[_c.pid]")
+        w.add(core, "_dl = _bdl[_x]")
+        w.add(core, "_dt = 0")
+    for reg in reg_loads:
+        w.add(core, f"_g{reg} = _r[{reg}]")
+    for bit in flag_loads:
+        w.add(core, f"_f{bit} = _bf{bit}[_x]")
+    for lines in prefix_chunks:
+        w.block(core, lines)
+    if two_arm:
+        w.add(core, f"_d = {_sc_cond(trace.split.cond)}")
+        w.add(core, "if _x:")
+        w.add(core + 1, "if _d != (_arm == 1):")
+        w.add(core + 2, "_bail = True")
+        w.add(core + 2, "break")
+        w.add(core, "else:")
+        w.add(core + 1, "_arm = 1 if _d else 0")
+        w.add(core, "if _d:")
+        for lines in arm_chunks[0]:
+            w.block(core + 1, lines)
+        if not any(arm_chunks[0]):
+            w.add(core + 1, "pass")
+        w.add(core, "else:")
+        for lines in arm_chunks[1]:
+            w.block(core + 1, lines)
+        if not any(arm_chunks[1]):
+            w.add(core + 1, "pass")
+    else:
+        w.block(core, _guard_lines(trace.split, trace.arms[0].expected))
+        for lines in arm_chunks[0]:
+            w.block(core, lines)
+    for reg in reg_stores:
+        w.add(core, f"_r[{reg}] = _g{reg}")
+    for bit in flag_stores:
+        w.add(core, f"_pf{bit}[_x] = _bf{bit}[_x]")
+        w.add(core, f"_bf{bit}[_x] = _f{bit}")
+    if any_mem:
+        w.add(core, "_pdl[_x] = _bdl[_x]")
+        w.add(core, "_bdl[_x] = _dl")
+        w.add(core, "_pdt[_x] = _bdt[_x]")
+        w.add(core, "_bdt[_x] += _dt")
+    w.add(core, "_x += 1")
+    if any_bail:
+        w.add(loop, "if _bail:")
+        if any_undo:
+            w.add(loop + 1, "for _s2, _o2, _v2 in reversed(_u):")
+            w.add(loop + 2, "_s2[_o2] = _v2")
+        w.add(loop + 1, "_y = 0")
+        w.add(loop + 1, "while _y < _x:")
+        w.add(loop + 2, "_cores[_y].regs[:] = _bsn[_y]")
+        for bit in flag_stores:
+            w.add(loop + 2, f"_bf{bit}[_y] = _pf{bit}[_y]")
+        if any_mem:
+            w.add(loop + 2, "_bdl[_y] = _pdl[_y]")
+            w.add(loop + 2, "_bdt[_y] = _pdt[_y]")
+        w.add(loop + 2, "_y += 1")
+        w.add(loop + 1, "break")
+    w.add(loop, "_it += 1")
+    if two_arm:
+        w.add(loop, "if _arm:")
+        w.add(loop + 1, "_ia += 1")
+        w.add(loop + 1, "_la = 1")
+        w.add(loop + 1, f"_j += {trace.periods[0]}")
+        if dyn:
+            _dyn_fold(w, loop + 1, prefix_dyn + arm_dyn[0])
+        w.add(loop, "else:")
+        w.add(loop + 1, "_ib += 1")
+        w.add(loop + 1, "_la = 0")
+        w.add(loop + 1, f"_j += {trace.periods[1]}")
+        if dyn:
+            _dyn_fold(w, loop + 1, prefix_dyn + arm_dyn[1])
+    else:
+        w.add(loop, f"_j += {trace.periods[0]}")
+        if dyn:
+            _dyn_fold(w, loop, prefix_dyn + arm_dyn[0])
+    w.add(loop, f"if _j + {trace.max_period} > _maxj:")
+    w.add(loop + 1, "break")
+    # ---- epilogue: nothing committed means nothing to write back ----
+    w.add(body, "if _j:")
+    epi = body + 1
+    cp_fold = _fold_expr(const_priv, count_vars)
+    if any_mem and cp_fold:
+        w.add(epi, f"_wpr = {cp_fold}")
+    mt_terms = (["_mpr", "_msh"] if dyn else []) \
+        + (["_wpr"] if any_mem and cp_fold else [])
+    mp_terms = (["_mpr"] if dyn else []) \
+        + (["_wpr"] if any_mem and cp_fold else [])
+    w.add(epi, "_x = 0")
+    w.add(epi, "for _c in _cores:")
+    w.add(epi + 1, f"_c.pc = {trace.start}")
+    w.add(epi + 1, "_c.retired += _j")
+    if flag_stores:
+        w.add(epi + 1, "_f = _c.flags")
+        for bit in flag_stores:
+            w.add(epi + 1, f"_f.{bit} = _bf{bit}[_x]")
+    if any_mem:
+        w.add(epi + 1, "_p = _c.pid")
+        if mt_terms:
+            w.add(epi + 1, f"_mt[_p] += {' + '.join(mt_terms)}")
+        if mp_terms:
+            w.add(epi + 1, f"_mp[_p] += {' + '.join(mp_terms)}")
+        if dyn:
+            w.add(epi + 1, "_ms[_p] += _msh")
+        w.add(epi + 1, "_dlast[_p] = _bdl[_x]")
+        w.add(epi + 1, "if _bdt[_x]:")
+        w.add(epi + 2, "_dtr[_p] += _bdt[_x]")
+    w.add(epi + 1, "_x += 1")
+    if any_mem:
+        acc0 = (["_da"] if dyn else []) \
+            + ([f"_n * (_wpr)"] if cp_fold else [])
+        if acc0:
+            w.add(epi, f"_acc[0] += {' + '.join(acc0)}")
+        del_fold = _fold_expr(accesses, count_vars)
+        if del_fold:
+            w.add(epi, f"_acc[1] += _n * ({del_fold})")
+        if dyn:
+            w.add(epi, "_acc[2] += _db")
+            w.add(epi, "_acc[3] += _dsv")
+        read_fold = _fold_expr(reads, count_vars)
+        if read_fold:
+            w.add(epi, f"_acc[4] += _n * ({read_fold})")
+        write_fold = _fold_expr(writes, count_vars)
+        if write_fold:
+            w.add(epi, f"_acc[5] += _n * ({write_fold})")
+    if two_arm:
+        w.add(epi, "_acc[8] = _ia")
+        w.add(epi, "_acc[9] = _ib")
+        w.add(epi, "_acc[10] = _la")
+    else:
+        w.add(epi, "_acc[8] = _it")
+        w.add(epi, "_acc[9] = 0")
+        w.add(epi, "_acc[10] = 1")
+    w.add(body, "return _j")
+
+_FLAG_REF = re.compile(r"_f([czvn])\b")
+
+
+def _cell_io(lines):
+    """(reg_reads, reg_writes, flag_reads, flag_writes) over cell lines.
+
+    Conservative regex-level dataflow over generated scalar code: a
+    line-initial ``_gN = `` / ``_fX = `` is a write, every other
+    occurrence a read.
+    """
+    rr: set = set()
+    rw: set = set()
+    fr: set = set()
+    fw: set = set()
+    for line in lines:
+        stripped = line.lstrip()
+        rhs = stripped
+        match = _REG_REF.match(stripped)
+        if match and stripped[match.end():].startswith(" = "):
+            rw.add(int(match.group(1)))
+            rhs = stripped[match.end() + 3:]
+        else:
+            match = _FLAG_REF.match(stripped)
+            if match and stripped[match.end():].startswith(" = "):
+                fw.add(match.group(1))
+                rhs = stripped[match.end() + 3:]
+        for ref in _REG_REF.finditer(rhs):
+            rr.add(int(ref.group(1)))
+        for ref in _FLAG_REF.finditer(rhs):
+            fr.add(ref.group(1))
+    return rr, rw, fr, fw
+
+
+def _uniform_plan(trace: Trace, env: tuple):
+    """Uniform-specialisation plan, or ``None`` when unsafe/unprofitable.
+
+    The uniform variant executes each iteration's computation *once*
+    with plain scalars and loops over the cores only for effects that
+    genuinely differ per core: registers observed non-uniform at build
+    time plus everything data-dependent on them, private-bank stores,
+    and MMU bank-transition accounting.  Prerequisites, checked here:
+    every control decision (split + guards) and every memory address
+    must be uniform, per-core data must never leak into a loaded or
+    stored flag, and reads must hit shared memory (the last one is
+    enforced at run time by bailing on private reads, which the
+    broadcast crossbar merges into one uniform value anyway).
+    """
+    data_broadcast = env[5]
+    prefix_emits, arm_emits, flag_loads, flag_stores = \
+        _trace_flag_plan(trace)
+    seq = []
+    for t, cell in enumerate(trace.prefix_cells):
+        seq.append((cell, prefix_emits[t], None))
+    for a, arm in enumerate(trace.arms):
+        for t, cell in enumerate(arm.cells):
+            seq.append((cell, arm_emits[a][t], a))
+    infos = []
+    for ci, (cell, emit, arm) in enumerate(seq):
+        kind = cell[0]
+        if kind == "guard":
+            lines = _guard_lines(cell[1], cell[2])
+            addr_regs: set = set()
+        else:
+            lines = _scalarize(_semantic_lines(cell[1], emit))
+            addr_regs = _cell_io(
+                _scalarize(_address_lines(cell[1])))[0] \
+                if kind in ("read", "write") else set()
+        srr, rw, sfr, fw = _cell_io(lines)
+        infos.append({"ci": ci, "kind": kind, "arm": arm, "cell": cell,
+                      "emit": emit, "lines": lines, "addr": addr_regs,
+                      "srr": srr, "rr": srr | addr_regs, "rw": rw,
+                      "fr": sfr, "fw": fw})
+    p_regs = set(trace.percore_regs)
+    p_flags = set(trace.percore_flags)
+    changed = True
+    while changed:
+        changed = False
+        for info in infos:
+            if info["kind"] == "guard":
+                continue
+            if (info["rr"] & p_regs) or (info["fr"] & p_flags) \
+                    or (info["rw"] & p_regs) or (info["fw"] & p_flags):
+                if not (info["rw"] <= p_regs
+                        and info["fw"] <= p_flags):
+                    p_regs |= info["rw"]
+                    p_flags |= info["fw"]
+                    changed = True
+    guard_bits: set = set()
+    if trace.split.cond != Cond.AL:
+        guard_bits |= set(_COND_BITS[trace.split.cond])
+    for info in infos:
+        if info["kind"] == "guard":
+            guard_bits |= info["fr"]
+        elif info["fr"] - set(flag_loads):
+            # A semantic flag read outside the load plan would have no
+            # entry uniformity check; refuse rather than risk it.
+            return None
+        if info["kind"] in ("read", "write") \
+                and info["addr"] & p_regs:
+            return None
+    if guard_bits & p_flags:
+        return None
+    if (set(flag_loads) | set(flag_stores)) & p_flags:
+        return None
+    cls = ["p" if ((info["rr"] | info["rw"]) & p_regs
+                   or (info["fr"] | info["fw"]) & p_flags) else "u"
+           for info in infos]
+    if "u" not in cls:
+        return None
+    # A uniform-dest read needs the broadcast crossbar to merge the
+    # cores' shared fetches into one value.
+    if not data_broadcast and any(
+            info["kind"] == "read" and cls[info["ci"]] == "u"
+            for info in infos):
+        return None
+    mctr = 0
+    for info in infos:
+        if info["kind"] in ("read", "write"):
+            info["m"] = mctr
+            mctr += 1
+    return {"p_regs": p_regs, "p_flags": p_flags, "infos": infos,
+            "cls": cls, "flag_loads": flag_loads,
+            "flag_stores": flag_stores}
+
+
+def _pc_renamed(info, lines, p_regs, p_flags):
+    """Per-core emission of one cell's semantic lines.
+
+    Uniform register/flag operands are captured into cell-unique
+    scalars at the cell's position in the uniform section (so later
+    uniform cells can freely overwrite them); the read value ``_v``
+    becomes the cell's preloaded ``_v{m}``.
+
+    Returns ``(captures, renamed_lines)``.
+    """
+    ci = info["ci"]
+    captures = []
+    out = list(lines)
+
+    def _sub(pattern, repl):
+        nonlocal out
+        out = [re.sub(pattern, repl, line) for line in out]
+
+    for reg in sorted(info["srr"] - p_regs):
+        captures.append(f"_t{ci}r{reg} = _g{reg}")
+        _sub(rf"\b_g{reg}\b", f"_t{ci}r{reg}")
+    for bit in sorted(info["fr"] - p_flags):
+        captures.append(f"_t{ci}f{bit} = _f{bit}")
+        _sub(rf"\b_f{bit}\b", f"_t{ci}f{bit}")
+    if info["kind"] == "read":
+        _sub(r"\b_v\b", "_v%d" % info["m"])
+    return captures, out
+
+
+def _emit_uniform_variant(w: _Writer, trace: Trace, env: tuple,
+                          plan: dict, name: str) -> None:
+    pwc, pwb, swb, shared_words, dbn, _dbc = env
+    infos = plan["infos"]
+    cls = plan["cls"]
+    p_regs = plan["p_regs"]
+    p_flags = plan["p_flags"]
+    flag_loads = plan["flag_loads"]
+    flag_stores = plan["flag_stores"]
+    two_arm = len(trace.arms) == 2
+    read_lim = min(shared_words, PRIVATE_BASE)
+    # Static shared/private split: a read whose destination is per-core
+    # must be a private (per-bank) read — uniform dests mean uniform
+    # values, which only a broadcast-merged shared read provides.  Each
+    # path enforces its prediction with a range bail.
+    sreads, preads, writes, accesses = [], [], [], []
+    for k in range(len(trace.arms)):
+        path = [info for info in infos if info["arm"] in (None, k)]
+        pr = sum(1 for info in path if info["kind"] == "read"
+                 and cls[info["ci"]] == "p")
+        sr = sum(1 for info in path if info["kind"] == "read"
+                 and cls[info["ci"]] == "u")
+        wn = sum(1 for info in path if info["kind"] == "write")
+        preads.append(pr)
+        sreads.append(sr)
+        writes.append(wn)
+        accesses.append(pr + sr + wn)
+    any_mem = any(accesses)
+    any_write = any(writes)
+    any_priv = any(preads)
+    count_vars = ("_ia", "_ib") if two_arm else ("_it",)
+
+    refs: set = set()
+    stores_r: set = set()
+    for info in infos:
+        refs |= info["rr"] | info["rw"]
+        stores_r |= info["rw"]
+    u_loads = sorted(r for r in refs if r not in p_regs)
+    u_stores = sorted(r for r in stores_r if r not in p_regs)
+    p_used = sorted(r for r in refs if r in p_regs)
+    p_stored = sorted(r for r in stores_r if r in p_regs)
+
+    def emit_uniform_cell(info, indent):
+        kind = info["kind"]
+        percore = cls[info["ci"]] == "p"
+        if kind == "guard":
+            w.block(indent, info["lines"])
+            return
+        if kind == "alu":
+            if percore:
+                w.block(indent,
+                        _pc_renamed(info, info["lines"],
+                                    p_regs, p_flags)[0])
+            else:
+                w.block(indent, info["lines"])
+            return
+        m = info["m"]
+        instr = info["cell"][1]
+        w.block(indent, _scalarize(_address_lines(instr)))
+        if kind == "read":
+            if percore:  # private read: per-core banks, uniform offset
+                w.add(indent, "_o = _ra - %d" % PRIVATE_BASE)
+                w.add(indent, "if _o < 0 or _o >= %d:" % pwc)
+                w.add(indent + 1, "_bail = True")
+                w.add(indent + 1, "break")
+                w.add(indent, "_od%d = _o // %d" % (m, pwb))
+                w.add(indent, "_vo%d = %d + _o %% %d" % (m, swb, pwb))
+                w.block(indent,
+                        _pc_renamed(info, info["lines"],
+                                    p_regs, p_flags)[0])
+            else:  # shared read: fetch once, broadcast to every core
+                w.add(indent, "if _ra >= %d:" % read_lim)
+                w.add(indent + 1, "_bail = True")
+                w.add(indent + 1, "break")
+                w.add(indent, "_bk%d = _ra %% %d" % (m, dbn))
+                w.add(indent, "_v%d = _sto[_bk%d][_ra // %d]"
+                      % (m, m, dbn))
+                w.block(indent, [re.sub(r"\b_v\b", "_v%d" % m, line)
+                                 for line in info["lines"]])
+            return
+        # write cell: semantics first (the address was previewed), the
+        # store itself happens in the per-core loop
+        if percore:
+            w.block(indent,
+                    _pc_renamed(info, info["lines"], p_regs, p_flags)[0])
+        else:
+            w.block(indent, info["lines"])
+            w.add(indent, "_res%d = _res" % m)
+        w.add(indent, "_o = _wa - %d" % PRIVATE_BASE)
+        w.add(indent, "if _o < 0 or _o >= %d:" % pwc)
+        w.add(indent + 1, "_bail = True")
+        w.add(indent + 1, "break")
+        w.add(indent, "_od%d = _o // %d" % (m, pwb))
+        w.add(indent, "_o2%d = %d + _o %% %d" % (m, swb, pwb))
+
+    def percore_lines(arm_index):
+        out: list[str] = []
+        for info in infos:
+            if info["arm"] not in (None, arm_index):
+                continue
+            kind = info["kind"]
+            percore = cls[info["ci"]] == "p"
+            if kind == "alu":
+                if percore:
+                    out += _pc_renamed(info, info["lines"],
+                                       p_regs, p_flags)[1]
+            elif kind == "read":
+                m = info["m"]
+                if percore:  # private: per-core bank fetch and replay
+                    out += [f"_bk = _cbp[_od{m}]",
+                            "if _dl is not None and _dl != _bk:",
+                            "    _dt += 1",
+                            "_dl = _bk",
+                            f"_v{m} = _sto[_bk][_vo{m}]"]
+                    out += _pc_renamed(info, info["lines"],
+                                       p_regs, p_flags)[1]
+                else:  # shared: uniform bank, per-core dlast replay
+                    out += [f"if _dl is not None and _dl != _bk{m}:",
+                            "    _dt += 1",
+                            f"_dl = _bk{m}"]
+            elif kind == "write":
+                m = info["m"]
+                if percore:
+                    out += _pc_renamed(info, info["lines"],
+                                       p_regs, p_flags)[1]
+                out += [f"_bk = _cbp[_od{m}]",
+                        "if _dl is not None and _dl != _bk:",
+                        "    _dt += 1",
+                        "_dl = _bk",
+                        f"_sto[_bk][_o2{m}] = "
+                        + ("_res" if percore else f"_res{m}")]
+        return out
+
+    def emit_arm_commit(arm_index, indent):
+        if two_arm:
+            w.add(indent, "_ia += 1" if arm_index == 0 else "_ib += 1")
+            w.add(indent, "_la = %d" % (1 if arm_index == 0 else 0))
+        else:
+            w.add(indent, "_it += 1")
+        w.add(indent, "_j += %d" % trace.periods[arm_index])
+        lines = percore_lines(arm_index)
+        if not lines:
+            return
+        path = [info for info in infos
+                if info["arm"] in (None, arm_index)]
+        path_mem = any(info["kind"] in ("read", "write")
+                       for info in path)
+        path_banked = any(
+            info["kind"] == "write"
+            or (info["kind"] == "read" and cls[info["ci"]] == "p")
+            for info in path)
+        rr, rw_, __, ___ = _cell_io(lines)
+        loop_loads = sorted(r for r in rr | rw_ if r in p_regs)
+        loop_stores = sorted(r for r in rw_ if r in p_regs)
+        w.add(indent, "for _x in range(_n):")
+        li = indent + 1
+        if path_banked:
+            w.add(li, "_cbp = _cbs[_x]")
+        if path_mem:
+            w.add(li, "_dl = _pdl[_x]")
+            w.add(li, "_dt = 0")
+        for reg in loop_loads:
+            w.add(li, f"_g{reg} = _p{reg}[_x]")
+        w.block(li, lines)
+        for reg in loop_stores:
+            w.add(li, f"_p{reg}[_x] = _g{reg}")
+        if path_mem:
+            w.add(li, "_pdl[_x] = _dl")
+            w.add(li, "_pdt[_x] += _dt")
+
+    w.add(1, "def %s(_cores, _mt, _mp, _ms, _dlast, _dtr, _acc,"
+             " _maxj):" % name)
+    b = 2
+    w.add(b, "_n = len(_cores)")
+    w.add(b, "_c0 = _cores[0]")
+    if u_loads:
+        w.add(b, "_r0 = _c0.regs")
+        for reg in u_loads:
+            w.add(b, f"_g{reg} = _r0[{reg}]")
+    if flag_loads:
+        w.add(b, "_f0 = _c0.flags")
+        for bit in flag_loads:
+            w.add(b, f"_f{bit} = _f0.{bit}")
+    for reg in p_used:
+        w.add(b, f"_p{reg} = [_c.regs[{reg}] for _c in _cores]")
+    if any_mem:
+        if any_write or any_priv:
+            w.add(b, "_cbs = [_cb[_c.pid] for _c in _cores]")
+        w.add(b, "_pdl = [_dlast[_c.pid] for _c in _cores]")
+        w.add(b, "_pdt = [0] * _n")
+    w.add(b, "_j = 0")
+    if two_arm:
+        w.add(b, "_ia = 0")
+        w.add(b, "_ib = 0")
+        w.add(b, "_la = 1")
+    else:
+        w.add(b, "_it = 0")
+    w.add(b, "_bail = False")
+    w.add(b, "while True:")
+    L = b + 1
+    for reg in u_stores:
+        w.add(L, f"_h{reg} = _g{reg}")
+    for bit in flag_stores:
+        w.add(L, f"_h{bit}f = _f{bit}")
+    for info in infos:
+        if info["arm"] is None:
+            emit_uniform_cell(info, L)
+    if two_arm:
+        w.add(L, f"_d = {_sc_cond(trace.split.cond)}")
+        w.add(L, "if _d:")
+        for info in infos:
+            if info["arm"] == 0:
+                emit_uniform_cell(info, L + 1)
+        emit_arm_commit(0, L + 1)
+        w.add(L, "else:")
+        for info in infos:
+            if info["arm"] == 1:
+                emit_uniform_cell(info, L + 1)
+        emit_arm_commit(1, L + 1)
+    else:
+        w.block(L, _guard_lines(trace.split, trace.arms[0].expected))
+        for info in infos:
+            if info["arm"] == 0:
+                emit_uniform_cell(info, L)
+        emit_arm_commit(0, L)
+    w.add(L, f"if _j + {trace.max_period} > _maxj:")
+    w.add(L + 1, "break")
+    if u_stores or flag_stores:
+        w.add(b, "if _bail:")
+        for reg in u_stores:
+            w.add(b + 1, f"_g{reg} = _h{reg}")
+        for bit in flag_stores:
+            w.add(b + 1, f"_f{bit} = _h{bit}f")
+    # ---- epilogue ----
+    w.add(b, "if _j:")
+    e = b + 1
+    mt_fold = _fold_expr(accesses, count_vars)
+    mp_fold = _fold_expr([p + wn for p, wn in zip(preads, writes)],
+                         count_vars)
+    ms_fold = _fold_expr(sreads, count_vars)
+    w.add(e, "_x = 0")
+    w.add(e, "for _c in _cores:")
+    w.add(e + 1, f"_c.pc = {trace.start}")
+    w.add(e + 1, "_c.retired += _j")
+    if u_stores or p_stored:
+        w.add(e + 1, "_r = _c.regs")
+        for reg in u_stores:
+            w.add(e + 1, f"_r[{reg}] = _g{reg}")
+        for reg in p_stored:
+            w.add(e + 1, f"_r[{reg}] = _p{reg}[_x]")
+    if flag_stores:
+        w.add(e + 1, "_f = _c.flags")
+        for bit in flag_stores:
+            w.add(e + 1, f"_f.{bit} = _f{bit}")
+    if any_mem:
+        w.add(e + 1, "_p = _c.pid")
+        if mt_fold:
+            w.add(e + 1, f"_mt[_p] += {mt_fold}")
+        if mp_fold:
+            w.add(e + 1, f"_mp[_p] += {mp_fold}")
+        if ms_fold:
+            w.add(e + 1, f"_ms[_p] += {ms_fold}")
+        w.add(e + 1, "_dlast[_p] = _pdl[_x]")
+        w.add(e + 1, "if _pdt[_x]:")
+        w.add(e + 2, "_dtr[_p] += _pdt[_x]")
+    w.add(e + 1, "_x += 1")
+    if any_mem:
+        acc0 = ([f"({ms_fold})"] if ms_fold else []) \
+            + ([f"_n * ({mp_fold})"] if mp_fold else [])
+        if acc0:
+            w.add(e, f"_acc[0] += {' + '.join(acc0)}")
+        if mt_fold:
+            w.add(e, f"_acc[1] += _n * ({mt_fold})")
+        if ms_fold:
+            w.add(e, "if _n > 1:")
+            w.add(e + 1, f"_acc[2] += {ms_fold}")
+            w.add(e + 1, f"_acc[3] += (_n - 1) * ({ms_fold})")
+        rd_fold = _fold_expr([p + s for p, s in zip(preads, sreads)],
+                             count_vars)
+        if rd_fold:
+            w.add(e, f"_acc[4] += _n * ({rd_fold})")
+        wr_fold = _fold_expr(writes, count_vars)
+        if wr_fold:
+            w.add(e, f"_acc[5] += _n * ({wr_fold})")
+    if two_arm:
+        w.add(e, "_acc[8] = _ia")
+        w.add(e, "_acc[9] = _ib")
+        w.add(e, "_acc[10] = _la")
+    else:
+        w.add(e, "_acc[8] = _it")
+        w.add(e, "_acc[9] = 0")
+        w.add(e, "_acc[10] = 1")
+    w.add(b, "return _j")
+
+
+def _emit_dispatch(w: _Writer, trace: Trace, plan: dict) -> None:
+    """``_run``: route to the uniform body when the uniform-classified
+    entry state really is identical across the cores, else generic."""
+    infos = plan["infos"]
+    p_regs = plan["p_regs"]
+    flag_loads = plan["flag_loads"]
+    refs: set = set()
+    for info in infos:
+        refs |= info["rr"] | info["rw"]
+    check_regs = sorted(r for r in refs if r not in p_regs)
+    args = "_cores, _mt, _mp, _ms, _dlast, _dtr, _acc, _maxj"
+    w.add(1, "def _run(%s):" % args)
+    b = 2
+    w.add(b, "_r0 = _cores[0].regs")
+    if flag_loads:
+        w.add(b, "_f0 = _cores[0].flags")
+    w.add(b, "for _c in _cores:")
+    if check_regs:
+        w.add(b + 1, "_r = _c.regs")
+        cond = " or ".join(f"_r[{r}] != _r0[{r}]" for r in check_regs)
+        w.add(b + 1, f"if {cond}:")
+        w.add(b + 2, "return _generic(%s)" % args)
+    if flag_loads:
+        w.add(b + 1, "_f = _c.flags")
+        cond = " or ".join(f"_f.{bit} != _f0.{bit}"
+                           for bit in flag_loads)
+        w.add(b + 1, f"if {cond}:")
+        w.add(b + 2, "return _generic(%s)" % args)
+    w.add(b, "return _uniform(%s)" % args)
+
+
+def _generate_trace_source(trace: Trace, env: tuple) -> str:
+    w = _Writer()
+    w.add(0, "def _build(_layout, _cb, _sto):")
+    plan = _uniform_plan(trace, env)
+    if plan is None:
+        _emit_trace_variant(w, trace, env, "_run")
+    else:
+        _emit_trace_variant(w, trace, env, "_generic")
+        _emit_uniform_variant(w, trace, env, plan, "_uniform")
+        _emit_dispatch(w, trace, plan)
+    w.add(1, "return _run")
+    return "\n".join(w.lines) + "\n"

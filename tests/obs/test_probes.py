@@ -103,7 +103,8 @@ class TestEventStream:
         slow_counts, _, slow_stats = _count_events(arch, built, False)
         fast_counts, _, fast_stats = _count_events(arch, built, True)
         assert slow_stats == fast_stats
-        for event in EVENTS - {"ff.enter", "ff.exit", "block.done"}:
+        for event in EVENTS - {"ff.enter", "ff.exit", "ff.block",
+                               "block.done"}:
             assert fast_counts[event] == slow_counts[event], event
 
     def test_ff_span_events(self, built):

@@ -1,0 +1,236 @@
+"""Lockstep divergence and loop-trace behaviour of the block layer.
+
+The translation-block fast path only fires while every running core
+sits at the same PC; the loop-trace layer additionally speculates that
+the cores *stay* in lockstep through whole loop iterations.  These
+tests force every way out of that speculation — taken/not-taken
+divergence at a data-dependent branch, per-core splits that make the
+trace's agreement check bail, and uniform loops that commit through
+both the specialised (uniform) and the generic per-core trace variant —
+and require bit identity with the exact cycle loop throughout, plus
+evidence that each scenario actually exercised the intended machinery.
+"""
+
+import dataclasses
+
+import pytest
+
+import repro.platform.fast_forward as ff_engine
+from repro.memory.layout import PRIVATE_BASE
+from repro.platform import Benchmark, build_platform
+from repro.tamarisc.encoding import encode
+from repro.tamarisc.isa import BranchMode, Cond, DstMode, Instruction, Op, \
+    SrcMode
+from repro.tamarisc.program import DataImage, Program
+
+ITERS = 24
+COUNTER = 12
+POINTER = 8
+SCRATCH = 9
+BASE = PRIVATE_BASE + 16
+
+
+def _program(body):
+    """Counted loop around ``body``: counter in r12, pointer in r8."""
+    words = []
+
+    def emit(instr):
+        words.append(encode(instr))
+
+    emit(Instruction(op=Op.MOV, dreg=COUNTER, s1mode=SrcMode.IMM,
+                     s1val=ITERS))
+    emit(Instruction(op=Op.MOV, dreg=POINTER, s1mode=SrcMode.IMM,
+                     s1val=BASE >> 4))
+    emit(Instruction(op=Op.SLL, dreg=POINTER, s1mode=SrcMode.REG,
+                     s1val=POINTER, s2mode=SrcMode.IMM, s2val=4))
+    emit(Instruction(op=Op.OR, dreg=POINTER, s1mode=SrcMode.REG,
+                     s1val=POINTER, s2mode=SrcMode.IMM, s2val=BASE & 0xF))
+    emit(Instruction(op=Op.ADD, dreg=SCRATCH, s1mode=SrcMode.REG,
+                     s1val=POINTER, s2mode=SrcMode.IMM, s2val=8))
+    top = len(words)
+    for instr in body:
+        emit(instr)
+    emit(Instruction(op=Op.SUB, dreg=COUNTER, s1mode=SrcMode.REG,
+                     s1val=COUNTER, s2mode=SrcMode.IMM, s2val=1))
+    emit(Instruction(op=Op.BR, cond=Cond.NE, bmode=BranchMode.DIR,
+                     target=top))
+    emit(Instruction(op=Op.HLT))
+    return Program(words=words)
+
+
+def _benchmark(name, body, per_core_words):
+    """``per_core_words(pid)`` seeds each core's private sandbox."""
+    data = DataImage()
+    for pid in range(8):
+        data.set_private_block(pid, PRIVATE_BASE, per_core_words(pid))
+    return Benchmark(name, _program(body), data)
+
+
+def _split_body(source):
+    """Diamond: flags from ``source``, NE skips one marker instruction.
+
+    Cores where the AND result is non-zero keep ``r5 == 7``; the others
+    execute the skipped slot and end with ``r5 == 3``.
+    """
+    return [
+        Instruction(op=Op.MOV, dreg=5, s1mode=SrcMode.IMM, s1val=7),
+        source,
+        Instruction(op=Op.BR, cond=Cond.NE, bmode=BranchMode.REL,
+                    target=2),
+        Instruction(op=Op.MOV, dreg=5, s1mode=SrcMode.IMM, s1val=3),
+        # store through the scratch pointer so the marker never clobbers
+        # the word the split condition reads
+        Instruction(op=Op.ADD, dmode=DstMode.IND, dreg=SCRATCH,
+                    s1mode=SrcMode.REG, s1val=5, s2mode=SrcMode.IMM,
+                    s2val=0),
+    ]
+
+
+#: Flag sources for the diamond: per-core private data vs the uniform
+#: loop counter.
+PER_CORE_SPLIT = Instruction(op=Op.AND, dreg=7, s1mode=SrcMode.IND,
+                             s1val=POINTER, s2mode=SrcMode.IMM, s2val=1)
+UNIFORM_SPLIT = Instruction(op=Op.AND, dreg=7, s1mode=SrcMode.REG,
+                            s1val=COUNTER, s2mode=SrcMode.IMM, s2val=1)
+
+
+def assert_identical(slow_sys, slow, fast_sys, fast):
+    for field in dataclasses.fields(slow.stats):
+        assert getattr(slow.stats, field.name) \
+            == getattr(fast.stats, field.name), \
+            f"stats field {field.name!r} diverged"
+    for pid, (ref, ffw) in enumerate(zip(slow_sys.cores, fast_sys.cores)):
+        assert ref.regs == ffw.regs, f"core {pid} registers"
+        assert ref.pc == ffw.pc, f"core {pid} PC"
+        assert ref.flags.as_tuple() == ffw.flags.as_tuple(), \
+            f"core {pid} flags"
+        assert ref.halted == ffw.halted, f"core {pid} halt state"
+    for bank, (ref, ffw) in enumerate(zip(slow_sys.dmem.banks,
+                                          fast_sys.dmem.banks)):
+        assert ref.storage == ffw.storage, f"DM bank {bank} image"
+
+
+def run_modes(benchmark, arch="mc-ref"):
+    """(exact system+result, blocks system+result, engine)."""
+    slow_sys = build_platform(arch, fast_forward=False)
+    slow = slow_sys.run(benchmark)
+    fast_sys = build_platform(arch, fast_forward=True,
+                              translation_blocks=True)
+    fast = fast_sys.run(benchmark)
+    return slow_sys, slow, fast_sys, fast, fast_sys._ff_engine
+
+
+@pytest.fixture
+def trace_thresholds(monkeypatch):
+    monkeypatch.setattr(ff_engine, "TRACE_ENTRY_THRESHOLD", 4)
+    monkeypatch.setattr(ff_engine, "TRACE_MIN_EDGE", 2)
+
+
+class TestBranchDivergence:
+    """Blocks must hand over cleanly when lockstep breaks."""
+
+    @pytest.mark.parametrize("arch", ["mc-ref", "ulpmc-bank"])
+    def test_taken_vs_not_taken_fallback(self, arch):
+        benchmark = _benchmark(
+            "diverge", _split_body(PER_CORE_SPLIT),
+            lambda pid: [pid % 2] * 32)
+        slow_sys, slow, fast_sys, fast, engine = run_modes(benchmark,
+                                                           arch)
+        assert engine.block_entries > 0  # lockstep prefix used blocks
+        assert_identical(slow_sys, slow, fast_sys, fast)
+        # the scenario is not vacuous: the two populations really took
+        # different arms ...
+        assert {core.regs[5] for core in fast_sys.cores} == {7, 3}
+
+    def test_no_cross_core_state_leakage(self):
+        benchmark = _benchmark(
+            "leak", _split_body(PER_CORE_SPLIT),
+            lambda pid: [pid % 2] * 32)
+        __, __, fast_sys, __, __ = run_modes(benchmark)
+        # ... and each core's sandbox word reflects only its own arm:
+        # odd-seeded cores (AND != 0) store 7, even-seeded cores 3.
+        for pid, core in enumerate(fast_sys.cores):
+            expected = 7 if pid % 2 else 3
+            assert core.regs[5] == expected, f"core {pid}"
+
+
+class TestLoopTraces:
+    """Loop-trace discovery, commit, bail and dispatch variants."""
+
+    def test_single_arm_trace_commits(self, trace_thresholds):
+        # OR with the counter is always non-zero: NE is always taken,
+        # so profiling sees a single hot edge and builds a 1-arm trace.
+        body = _split_body(Instruction(op=Op.OR, dreg=7,
+                                       s1mode=SrcMode.REG, s1val=COUNTER,
+                                       s2mode=SrcMode.IMM, s2val=1))
+        benchmark = _benchmark("one-arm", body, lambda pid: [0] * 32)
+        slow_sys, slow, fast_sys, fast, engine = run_modes(benchmark)
+        assert len(engine._trace_recs) >= 1
+        assert engine.trace_cycles > 0
+        assert_identical(slow_sys, slow, fast_sys, fast)
+
+    def test_two_arm_diamond_commits(self, trace_thresholds):
+        # Counter parity alternates the arms every iteration; both
+        # edges are hot and whole iterations commit through the trace.
+        benchmark = _benchmark("diamond", _split_body(UNIFORM_SPLIT),
+                               lambda pid: [0] * 32)
+        slow_sys, slow, fast_sys, fast, engine = run_modes(benchmark)
+        assert len(engine._trace_recs) == 1
+        assert engine.trace_cycles > 0
+        assert_identical(slow_sys, slow, fast_sys, fast)
+
+    def test_agreement_bail_after_divergence(self, trace_thresholds):
+        # Per-core data drives the split, but the parities agree for
+        # the first 16 iterations: the trace is built from that
+        # lockstep profile and commits whole iterations.  The last 8
+        # iterations diverge by core parity, so the trace's agreement
+        # check must refuse the mixed iteration (a decline that leaves
+        # state untouched) and hand back to the per-cycle machinery.
+        def words(pid):
+            image = [0] * 48
+            for w in range(1, ITERS + 1):
+                image[16 + w] = (pid % 2) if w <= 8 else (1 + 2 * pid)
+            return image
+
+        body = [
+            # address = pointer + loop counter: walks the per-core
+            # array backwards, one word per iteration
+            Instruction(op=Op.ADD, dreg=10, s1mode=SrcMode.REG,
+                        s1val=POINTER, s2mode=SrcMode.REG,
+                        s2val=COUNTER),
+            Instruction(op=Op.ADD, dreg=0, s1mode=SrcMode.IND,
+                        s1val=10, s2mode=SrcMode.IMM, s2val=0),
+        ] + _split_body(Instruction(op=Op.AND, dreg=7,
+                                    s1mode=SrcMode.REG, s1val=0,
+                                    s2mode=SrcMode.IMM, s2val=1))
+        benchmark = _benchmark("decline", body, words)
+        slow_sys, slow, fast_sys, fast, engine = run_modes(benchmark)
+        assert engine.trace_entries > 0
+        assert engine.trace_cycles > 0  # the agreeing prefix committed
+        declines = sum(rec[5] for rec in engine._trace_recs.values())
+        assert declines > 0
+        assert_identical(slow_sys, slow, fast_sys, fast)
+        # both arms really ran after the parity split
+        assert {core.regs[5] for core in fast_sys.cores} == {7, 3}
+
+    def test_per_core_data_uniform_control(self, trace_thresholds):
+        # Uniform control flow over per-core private data: the trace
+        # layer may specialise the uniform computation but the per-core
+        # loads/stores must stay per-bank.  Every core accumulates its
+        # own sandbox word, so any cross-core mix-up changes the result.
+        body = [
+            Instruction(op=Op.ADD, dreg=0, s1mode=SrcMode.IND,
+                        s1val=POINTER, s2mode=SrcMode.IMM, s2val=1),
+            Instruction(op=Op.ADD, dmode=DstMode.IND, dreg=POINTER,
+                        s1mode=SrcMode.REG, s1val=0, s2mode=SrcMode.IMM,
+                        s2val=0),
+        ] + _split_body(UNIFORM_SPLIT)
+        benchmark = _benchmark("uniform-data", body,
+                               lambda pid: [100 * pid] * 32)
+        slow_sys, slow, fast_sys, fast, engine = run_modes(benchmark)
+        assert engine.trace_cycles > 0
+        assert_identical(slow_sys, slow, fast_sys, fast)
+        # each core saw only its own data: base + one increment per
+        # committed iteration, all distinct across cores
+        finals = [core.regs[0] for core in fast_sys.cores]
+        assert len(set(finals)) == len(finals)

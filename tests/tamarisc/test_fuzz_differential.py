@@ -1,23 +1,31 @@
-"""Fuzz differential: 50 random programs, exact vs fast-forward.
+"""Fuzz differential: 50 random programs, three execution modes.
 
 The fast-forward engine's bit-identity promise covers more than the
 architectural state the older differential suite checks — the *probe
 event stream* must also be indistinguishable, because every metric,
 trace and manifest digest is derived from it.  Each seeded
-constrained-random program (full ISA surface) runs once per mode with
+constrained-random program (full ISA surface) runs once per mode —
+exact cycle-stepped loop, per-instruction fast-forward, and
+block-translated fast-forward (:mod:`repro.tamarisc.blocks`) — with
 
-* per-event subscribers on every comparable event (which forces both
+* per-event subscribers on every comparable event (which forces all
   modes onto the ``emit()`` fallback paths), and
 * the batched metrics collector attached on the same bus,
 
 and the test asserts equal registers, memory, ``SimulationStats``,
-metric snapshots, and per-cycle-sorted event streams.  ``ff.enter`` /
-``ff.exit`` are excluded: they describe the engine's own mode
-transitions, which the exact loop by definition never emits.
+metric snapshots, and per-cycle-sorted event streams.  The ``ff.*``
+events are excluded: they describe the engine's own mode transitions
+(enter/exit/translation-block usage), which by definition differ
+between modes.
 
 A second pass re-runs a slice of the corpus with *only* the batched
 collector attached, so the raw ring-buffer fast paths (no ``emit()``
 involved at all) get the same fuzz coverage.
+
+A third pass runs *unobserved* (no probe bus at all) with the loop-trace
+profiling thresholds lowered, so the trace layer — which only engages on
+unobserved runs — discovers, compiles and executes loop traces over the
+random corpus and its state must still match the exact loop bit for bit.
 """
 
 import dataclasses
@@ -33,7 +41,15 @@ from repro.tamarisc.regression import SANDBOX_WORDS, generate_random_program
 
 #: ff.* events announce fast-forward engine transitions; the exact loop
 #: never emits them, so they are not part of the identity contract.
-COMPARABLE_EVENTS = sorted(EVENTS - {"ff.enter", "ff.exit"})
+COMPARABLE_EVENTS = sorted(
+    name for name in EVENTS if not name.startswith("ff."))
+
+#: (fast_forward, translation_blocks) per compared execution mode.
+MODES = {
+    "exact": (False, False),
+    "ff-instr": (True, False),
+    "ff-blocks": (True, True),
+}
 
 FUZZ_SEEDS = range(50)
 
@@ -49,10 +65,97 @@ def fuzz_benchmark(seed: int) -> Benchmark:
     return Benchmark(f"fuzz-{seed}", program, data)
 
 
+def looped_fuzz_benchmark(seed: int, iters: int = 24) -> Benchmark:
+    """Random straight-line body wrapped in a counted loop (trace bait).
+
+    :func:`generate_random_program` is forward-branch-only, so nothing
+    in the plain corpus ever re-enters a block often enough to grow a
+    loop trace.  This variant emits a sandbox pointer, a loop counter in
+    ``r12`` (untouched by the body mix) and a random ALU/memory body,
+    closed by ``SUB r12, 1`` + ``BR NE`` back to the top — exactly the
+    counted-loop shape the trace builder profiles for.  A data-dependent
+    forward branch mid-body splits the loop into a multi-block diamond
+    (a single-block loop would just self-loop inside the block layer and
+    never profile a trace).  Per-pid sandbox contents differ, so loaded
+    registers diverge across cores and both trace variants (uniform and
+    generic) plus the bail path get exercised; even seeds branch on the
+    uniform loop counter so whole iterations actually commit, odd seeds
+    branch on per-core data so the lockstep agreement check bails.
+    """
+    from repro.tamarisc.encoding import encode
+    from repro.tamarisc.isa import (BranchMode, Cond, DstMode, Instruction,
+                                    Op, SrcMode)
+    from repro.tamarisc.program import Program
+
+    rng = random.Random(0x10000 + seed)
+    words: list[int] = []
+
+    def emit(instr: Instruction) -> None:
+        words.append(encode(instr))
+
+    counter = 12  # outside the generator's data/pointer/XR register pools
+    pointer = 8
+    base = PRIVATE_BASE + rng.randrange(8, SANDBOX_WORDS - 8)
+    emit(Instruction(op=Op.MOV, dreg=counter, s1mode=SrcMode.IMM,
+                     s1val=iters))
+    emit(Instruction(op=Op.MOV, dreg=pointer, s1mode=SrcMode.IMM,
+                     s1val=base >> 4))
+    emit(Instruction(op=Op.SLL, dreg=pointer, s1mode=SrcMode.REG,
+                     s1val=pointer, s2mode=SrcMode.IMM, s2val=4))
+    emit(Instruction(op=Op.OR, dreg=pointer, s1mode=SrcMode.REG,
+                     s1val=pointer, s2mode=SrcMode.IMM, s2val=base & 0xF))
+    top = len(words)
+    alu = (Op.ADD, Op.SUB, Op.AND, Op.OR, Op.XOR, Op.SLL, Op.SRL, Op.MUL)
+    for __ in range(rng.randrange(3, 9)):
+        choice = rng.random()
+        if choice < 0.25:  # sandbox load (drift-free addressing)
+            emit(Instruction(op=rng.choice(alu), dreg=rng.randrange(8),
+                             s1mode=SrcMode.IND, s1val=pointer,
+                             s2mode=SrcMode.IMM, s2val=rng.randrange(16)))
+        elif choice < 0.45:  # sandbox store
+            emit(Instruction(op=rng.choice(alu), dmode=DstMode.IND,
+                             dreg=pointer, s1mode=SrcMode.REG,
+                             s1val=rng.randrange(8), s2mode=SrcMode.IMM,
+                             s2val=rng.randrange(16)))
+        else:  # register/immediate ALU
+            emit(Instruction(op=rng.choice(alu), dreg=rng.randrange(8),
+                             s1mode=SrcMode.REG, s1val=rng.randrange(8),
+                             s2mode=rng.choice((SrcMode.REG, SrcMode.IMM)),
+                             s2val=rng.randrange(8)))
+    # Diamond split: flag-setting ALU + conditional skip of one filler.
+    if seed % 2 == 0:  # uniform split — iterations commit in lockstep
+        emit(Instruction(op=Op.AND, dreg=7, s1mode=SrcMode.REG,
+                         s1val=counter, s2mode=SrcMode.IMM,
+                         s2val=rng.randrange(1, 8)))
+    else:  # per-core split — the trace's agreement check must bail
+        emit(Instruction(op=Op.AND, dreg=7, s1mode=SrcMode.IND,
+                         s1val=pointer, s2mode=SrcMode.IMM,
+                         s2val=rng.randrange(1, 8)))
+    emit(Instruction(op=Op.BR, bmode=BranchMode.REL, target=2,
+                     cond=rng.choice((Cond.EQ, Cond.NE, Cond.PL))))
+    emit(Instruction(op=Op.XOR, dreg=rng.randrange(8),
+                     s1mode=SrcMode.REG, s1val=rng.randrange(8),
+                     s2mode=SrcMode.IMM, s2val=rng.randrange(16)))
+    emit(Instruction(op=Op.SUB, dreg=counter, s1mode=SrcMode.REG,
+                     s1val=counter, s2mode=SrcMode.IMM, s2val=1))
+    emit(Instruction(op=Op.BR, cond=Cond.NE, bmode=BranchMode.DIR,
+                     target=top))
+    emit(Instruction(op=Op.HLT))
+    data = DataImage()
+    for pid in range(8):
+        prng = random.Random((seed << 4) | pid)
+        data.set_private_block(
+            pid, PRIVATE_BASE,
+            [prng.randrange(0x10000) for __ in range(SANDBOX_WORDS)])
+    return Benchmark(f"fuzz-loop-{seed}", Program(words=words), data)
+
+
 def run_observed(arch: str, benchmark: Benchmark, fast_forward: bool,
-                 capture_events: bool = True):
+                 capture_events: bool = True,
+                 translation_blocks: bool = False):
     """One observed run; returns (result, metrics snapshot, streams)."""
-    system = build_platform(arch, fast_forward=fast_forward)
+    system = build_platform(arch, fast_forward=fast_forward,
+                            translation_blocks=translation_blocks)
     bus = system.probe_bus()
     streams = None
     if capture_events:
@@ -91,18 +194,66 @@ def assert_state_identical(slow, fast):
 
 @pytest.mark.parametrize("seed", FUZZ_SEEDS)
 def test_fuzz_event_stream_identity(seed):
-    """State, metrics and sorted event streams agree across modes."""
+    """State, metrics and sorted event streams agree across all modes."""
     arch = ARCH_NAMES[seed % len(ARCH_NAMES)]
     benchmark = fuzz_benchmark(seed)
     slow, slow_snap, slow_events = run_observed(
         arch, benchmark, fast_forward=False)
-    fast, fast_snap, fast_events = run_observed(
-        arch, benchmark, fast_forward=True)
-    assert_state_identical(slow, fast)
-    assert slow_snap == fast_snap, "metric registries diverged"
-    for name in COMPARABLE_EVENTS:
-        assert slow_events[name] == fast_events[name], \
-            f"{name} event stream diverged (seed {seed}, {arch})"
+    for mode, (ffw, blocks) in MODES.items():
+        if not ffw:
+            continue
+        fast, fast_snap, fast_events = run_observed(
+            arch, benchmark, fast_forward=ffw, translation_blocks=blocks)
+        assert_state_identical(slow, fast)
+        assert slow_snap == fast_snap, \
+            f"metric registries diverged ({mode})"
+        for name in COMPARABLE_EVENTS:
+            assert slow_events[name] == fast_events[name], \
+                f"{name} event stream diverged (seed {seed}, {arch}, {mode})"
+
+
+@pytest.mark.parametrize("seed", range(0, 50, 4))
+def test_fuzz_unobserved_trace_identity(seed, monkeypatch):
+    """Unobserved runs with aggressive trace thresholds stay identical.
+
+    Loop traces only build and run without an active probe bus, so
+    neither pass above exercises them.  Lowering the profiling
+    thresholds makes even the short loops of the random corpus
+    trace-eligible (discovery, compilation, lockstep dispatch, bail
+    and rollback all run); the committed state must still match the
+    exact loop exactly.
+    """
+    import repro.platform.fast_forward as ff_engine
+
+    monkeypatch.setattr(ff_engine, "TRACE_ENTRY_THRESHOLD", 4)
+    monkeypatch.setattr(ff_engine, "TRACE_MIN_EDGE", 2)
+    arch = ARCH_NAMES[seed % len(ARCH_NAMES)]
+    benchmark = fuzz_benchmark(seed)
+    runs = {}
+    for mode, (ffw, blocks) in MODES.items():
+        system = build_platform(arch, fast_forward=ffw,
+                                translation_blocks=blocks)
+        runs[mode] = system.run(benchmark)
+    assert_state_identical(runs["exact"], runs["ff-instr"])
+    assert_state_identical(runs["exact"], runs["ff-blocks"])
+
+
+@pytest.mark.parametrize("seed", range(0, 50, 4))
+def test_fuzz_looped_trace_identity(seed, monkeypatch):
+    """Counted-loop corpus: traces build, run and stay bit-identical."""
+    import repro.platform.fast_forward as ff_engine
+
+    monkeypatch.setattr(ff_engine, "TRACE_ENTRY_THRESHOLD", 4)
+    monkeypatch.setattr(ff_engine, "TRACE_MIN_EDGE", 2)
+    arch = ARCH_NAMES[seed % len(ARCH_NAMES)]
+    benchmark = looped_fuzz_benchmark(seed)
+    runs = {}
+    for mode, (ffw, blocks) in MODES.items():
+        system = build_platform(arch, fast_forward=ffw,
+                                translation_blocks=blocks)
+        runs[mode] = system.run(benchmark)
+    assert_state_identical(runs["exact"], runs["ff-instr"])
+    assert_state_identical(runs["exact"], runs["ff-blocks"])
 
 
 @pytest.mark.parametrize("arch", ARCH_NAMES)
@@ -117,7 +268,12 @@ def test_fuzz_batched_ring_identity(arch, seed):
     benchmark = fuzz_benchmark(seed)
     slow, slow_snap, _ = run_observed(
         arch, benchmark, fast_forward=False, capture_events=False)
-    fast, fast_snap, _ = run_observed(
-        arch, benchmark, fast_forward=True, capture_events=False)
-    assert_state_identical(slow, fast)
-    assert slow_snap == fast_snap, "metric registries diverged"
+    for mode, (ffw, blocks) in MODES.items():
+        if not ffw:
+            continue
+        fast, fast_snap, _ = run_observed(
+            arch, benchmark, fast_forward=ffw, translation_blocks=blocks,
+            capture_events=False)
+        assert_state_identical(slow, fast)
+        assert slow_snap == fast_snap, \
+            f"metric registries diverged ({mode})"
