@@ -1,6 +1,6 @@
 """Command-line driver.
 
-Four subcommands, all but the last writing run-manifest provenance to
+Five subcommands, all but ``regress`` writing run-manifest provenance to
 ``runs/``:
 
 * ``repro experiment <id ...|all> [--csv]`` — reproduce the paper's
@@ -13,14 +13,21 @@ Four subcommands, all but the last writing run-manifest provenance to
 * ``repro profile`` — run with the metrics collector attached, print
   the registry (sync-group-size and conflict-burst histograms included)
   and cross-check the probe counters against ``SimulationStats``.
+* ``repro watch`` — stream ECG blocks through the node with the
+  windowed-telemetry aggregator attached and render a live rolling
+  dashboard (per-core IPC, stall/conflict/broadcast rates, lockstep
+  fraction, deadline misses); ``--json-lines`` emits one JSON object
+  per closed window for piping.
 * ``repro regress`` — scan the run manifests for cross-revision digest
   drift (or same-revision nondeterminism) and exit non-zero on any
-  finding; the CI regression gate.
+  finding; the CI regression gate (``--baseline DIR`` compares against
+  a downloaded artifact, e.g. main's manifests, at PR time).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import pathlib
 import sys
 import time
@@ -283,6 +290,165 @@ def cmd_profile(argv) -> int:
     return 0
 
 
+def _watch_dashboard(arch: str, mode: str, aggregator) -> str:
+    """One repaint of the live table (plain stdlib, ANSI-free text)."""
+    fleet = aggregator.fleet_summary()
+    last = aggregator.windows[-1]
+    lines = [
+        f"repro watch — {arch} [{mode}]  "
+        f"window={aggregator.window_cycles} cy  "
+        f"windows={fleet['windows']}  "
+        f"cycles={fleet['stream_cycles']}",
+        f"{'rate':<24}{'last':>10}{'mean':>10}{'p50':>10}{'p99':>10}",
+    ]
+    for name, fmt in (("ipc", "{:.3f}"), ("stall_rate", "{:.3f}"),
+                      ("conflicts_per_kcycle", "{:.2f}"),
+                      ("broadcasts_per_kcycle", "{:.1f}"),
+                      ("lockstep_fraction", "{:.1%}")):
+        stats = fleet["rates"][name]
+        cells = "".join(
+            f"{fmt.format(stats[key]) if stats[key] is not None else '-':>10}"
+            for key in ("last", "mean", "p50", "p99"))
+        lines.append(f"{name:<24}{cells}")
+    ipc = last.core_ipc
+    lines.append("core      " + "".join(f"{pid:>7}"
+                                        for pid in range(len(ipc))))
+    lines.append("ipc       " + "".join(f"{value:>7.3f}" for value in ipc))
+    lines.append("stalls    " + "".join(f"{value:>7}"
+                                        for value in last.core_stalls))
+    streaming = fleet.get("streaming")
+    if streaming:
+        lines.append(
+            f"blocks={streaming['blocks_done']}  "
+            f"deadline_misses={streaming['deadline_misses']}  "
+            f"worst_block={streaming['worst_block_cycles']} cy  "
+            f"budget={streaming['deadline_budget_cycles']:.0f} cy")
+    return "\n".join(lines)
+
+
+def cmd_watch(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro watch",
+        description="Stream ECG blocks with the windowed-telemetry "
+                    "aggregator attached and render a live rolling "
+                    "dashboard of per-core/fleet rates.")
+    _add_common(parser)
+    parser.add_argument(
+        "--window", type=int, default=None, metavar="CYCLES",
+        help="telemetry window length in cycles (default: 8192)")
+    parser.add_argument(
+        "--interval", type=float, default=0.5, metavar="SECONDS",
+        help="minimum wall-clock delay between dashboard repaints "
+             "(default: 0.5; 0 repaints on every window)")
+    parser.add_argument(
+        "--json-lines", action="store_true",
+        help="emit one JSON object per closed window on stdout instead "
+             "of the dashboard (machine mode, pipeable)")
+    parser.add_argument(
+        "--repeat", type=int, default=2, metavar="N",
+        help="number of consecutive ECG blocks to stream (default: 2)")
+    parser.add_argument(
+        "--clock-hz", type=float, default=1e6,
+        help="node clock for the per-block deadline budget "
+             "(default: 1e6)")
+    parser.add_argument(
+        "--unbatched", action="store_true",
+        help="subscribe the aggregator per-event instead of via batch "
+             "drains (slower; windows are bit-identical either way)")
+    parser.add_argument(
+        "--speedup-vs-exact", action="store_true",
+        help="also time an uninstrumented exact-mode run of the same "
+             "stream and record the wall-time ratio in the manifest")
+    args = parser.parse_args(argv)
+    if args.repeat < 1:
+        parser.error("--repeat must be >= 1")
+
+    from repro.kernels import BenchmarkSpec
+    from repro.kernels.benchmark import build_block_series
+    from repro.obs import manifest_record, write_manifest
+    from repro.obs.telemetry import DEFAULT_WINDOW_CYCLES, \
+        WindowedAggregator
+    from repro.platform import build_platform
+    from repro.platform.streaming import SAMPLE_RATE_HZ, run_stream
+
+    window = args.window if args.window is not None \
+        else DEFAULT_WINDOW_CYCLES
+    spec = BenchmarkSpec(n_samples=args.samples,
+                         n_measurements=args.measurements,
+                         huffman_private=True)
+    series = build_block_series(spec, n_blocks=args.repeat)
+    budget = args.clock_hz * (args.samples / SAMPLE_RATE_HZ)
+    mode = "fast-forward" if args.fast_forward else "exact"
+    tty = sys.stdout.isatty()
+
+    for arch in _arches(args.arch):
+        system = build_platform(arch, fast_forward=args.fast_forward,
+                                translation_blocks=not args.no_blocks)
+        aggregator = WindowedAggregator.attach(
+            system.probe_bus(), window_cycles=window,
+            batched=not args.unbatched, deadline_budget_cycles=budget)
+        last_paint = [0.0]
+
+        def on_window(summary, arch=arch, aggregator=aggregator,
+                      last_paint=last_paint):
+            if args.json_lines:
+                payload = summary.to_dict()
+                payload.update(arch=arch, ipc=summary.ipc,
+                               stall_rate=summary.stall_rate,
+                               lockstep_fraction=summary.lockstep_fraction)
+                print(json.dumps(payload, sort_keys=True), flush=True)
+                return
+            now = time.monotonic()
+            if now - last_paint[0] < args.interval:
+                return
+            last_paint[0] = now
+            if tty:
+                print("\x1b[2J\x1b[H", end="")
+            print(_watch_dashboard(arch, mode, aggregator), flush=True)
+            if not tty:
+                print()
+
+        aggregator.listeners.append(on_window)
+        started = time.perf_counter()
+        report = run_stream(arch, series, clock_hz=args.clock_hz,
+                            system=system)
+        wall = time.perf_counter() - started
+        aggregator.detach()
+        if not args.json_lines and aggregator.windows:
+            # Closing repaint so short runs show at least one table.
+            if tty:
+                print("\x1b[2J\x1b[H", end="")
+            print(_watch_dashboard(arch, mode, aggregator))
+        speedup = None
+        if args.speedup_vs_exact:
+            reference = build_platform(arch, fast_forward=False)
+            ref_started = time.perf_counter()
+            run_stream(arch, series, clock_hz=args.clock_hz,
+                       system=reference)
+            ref_wall = time.perf_counter() - ref_started
+            speedup = ref_wall / wall if wall > 0 else None
+        print(f"{arch}: {len(aggregator.windows)} windows over "
+              f"{args.repeat} block(s) in {wall:.2f} s, "
+              f"{report.deadline_misses} deadline miss(es)"
+              + (f", {speedup:.2f}x vs exact" if speedup else ""))
+        if not args.no_manifest:
+            write_manifest(manifest_record(
+                "watch", series[0].benchmark.name, arch=arch,
+                config=system.config,
+                telemetry=aggregator.telemetry_block(),
+                wall_time_s=wall, speedup_vs_exact=speedup,
+                extra={"fast_forward": args.fast_forward,
+                       "translation_blocks": not args.no_blocks,
+                       "batched": not args.unbatched,
+                       "window_cycles": window,
+                       "blocks": args.repeat,
+                       "clock_hz": args.clock_hz,
+                       "deadline_budget_cycles": budget,
+                       "deadline_misses": report.deadline_misses},
+            ), directory=args.runs_dir)
+    return 0
+
+
 def cmd_regress(argv) -> int:
     parser = argparse.ArgumentParser(
         prog="repro regress",
@@ -328,6 +494,7 @@ _SUBCOMMANDS = {
     "experiment": cmd_experiment,
     "trace": cmd_trace,
     "profile": cmd_profile,
+    "watch": cmd_watch,
     "regress": cmd_regress,
 }
 

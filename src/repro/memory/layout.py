@@ -129,7 +129,14 @@ class DataMemoryLayout:
 
     @property
     def shared_words(self) -> int:
-        """Capacity of the logical shared window in words."""
+        """Physical capacity of the shared sections in words.
+
+        The *addressable* shared window is additionally bounded by
+        ``PRIVATE_BASE``: logical addresses at or above it are private
+        by definition, so on geometries whose physical shared capacity
+        exceeds ``PRIVATE_BASE`` (e.g. many small banks with the default
+        split) the excess words exist but cannot be reached.
+        """
         return self.banks * self.shared_words_per_bank
 
     @property

@@ -27,6 +27,13 @@ measurement substrate.  It has four layers, each usable on its own:
   manifests: group records by run identity, compare stats digests
   across git revisions (and within one revision, for nondeterminism)
   and render a pass/fail report — the engine behind ``repro regress``.
+* :mod:`repro.obs.telemetry` — **streaming telemetry**: a
+  :class:`~repro.obs.telemetry.WindowedAggregator` folds the probe
+  stream into fixed-cycle-window rolling summaries (per-core IPC,
+  stall/conflict/broadcast rates, lockstep fraction, deadline misses)
+  live during a run, with a merge operation combining N aggregators
+  into one fleet view — the engine behind ``repro watch`` and the
+  manifest ``telemetry`` block.
 
 Nothing in this package imports :mod:`repro.platform`, so the platform
 modules can import the probe bus without cycles.
@@ -63,6 +70,11 @@ from repro.obs.regress import (
     RegressionReport,
     run_regression,
 )
+from repro.obs.telemetry import (
+    WindowedAggregator,
+    WindowSummary,
+    summaries_digest,
+)
 
 __all__ = [
     "EVENTS",
@@ -79,6 +91,8 @@ __all__ = [
     "MetricsRegistry",
     "ProbeMetrics",
     "TraceRecorder",
+    "WindowSummary",
+    "WindowedAggregator",
     "config_digest",
     "git_revision",
     "manifest_record",
@@ -86,6 +100,7 @@ __all__ = [
     "read_manifests",
     "run_regression",
     "stats_digest",
+    "summaries_digest",
     "unpack_cycle_pc",
     "write_manifest",
 ]

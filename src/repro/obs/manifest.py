@@ -9,10 +9,13 @@ compact summary), and how long it took.  Two runs with equal
 reproducibility bug; equal digests let CI artifacts and local reruns be
 compared without shipping the full outputs around.
 
-Record schema (all fields always present, ``null`` when inapplicable)::
+Record schema ``repro-manifest/2`` (all fields always present, ``null``
+when inapplicable)::
 
     {
-      "kind":          "experiment" | "trace" | "profile" | "benchmark",
+      "schema":        "repro-manifest/2",
+      "kind":          "experiment" | "trace" | "profile" | "benchmark"
+                       | "watch",
       "name":          str,            # experiment id / benchmark name
       "arch":          str | null,     # platform name
       "config":        object | null,  # full ArchConfig dump
@@ -21,10 +24,20 @@ Record schema (all fields always present, ``null`` when inapplicable)::
       "stats_digest":  str | null,     # sha256 over the canonical payload
       "stats_summary": object | null,  # small human-scannable excerpt
       "event_summary": object | null,  # probe/metric counts, if observed
-      "wall_time_s":   float | null,
+      "telemetry":     object | null,  # windowed-telemetry block
+                                       # (repro.obs.telemetry), with
+                                       # per-window summary digests
+      "wall_time_s":   float | null,   # non-null at every write site
+      "speedup_vs_exact": float | null,  # wall-time ratio exact/this run
       "created":       float,          # unix timestamp
       "extra":         object          # free-form
     }
+
+Version history: ``repro-manifest/1`` records carry no ``schema`` field
+(readers treat its absence as v1) and lack ``telemetry`` /
+``speedup_vs_exact``.  Readers must skip records whose major version
+they do not know (``repro regress`` warns and counts them) so old
+checkouts survive newer ``runs/`` artifacts.
 """
 
 from __future__ import annotations
@@ -40,6 +53,29 @@ import time
 #: Default manifest location, relative to the current working directory.
 DEFAULT_DIRECTORY = "runs"
 MANIFEST_NAME = "manifest.jsonl"
+
+#: Schema tag written into every new record, and the highest major
+#: version this checkout knows how to read.
+SCHEMA = "repro-manifest/2"
+SCHEMA_VERSION = 2
+
+
+def schema_version(record: dict):
+    """The major schema version of a manifest ``record``.
+
+    Records predating the ``schema`` field are version 1.  Returns
+    ``None`` for tags this parser cannot even split (foreign files) —
+    callers should treat those like unknown newer versions: skip, don't
+    raise.
+    """
+    tag = record.get("schema")
+    if tag is None:
+        return 1
+    if isinstance(tag, str):
+        prefix, _, version = tag.rpartition("/")
+        if prefix == "repro-manifest" and version.isdigit():
+            return int(version)
+    return None
 
 
 def _canonical(obj):
@@ -90,12 +126,17 @@ def git_revision(cwd=None) -> str:
 
 def manifest_record(kind: str, name: str, *, arch=None, config=None,
                     stats=None, payload=None, event_summary=None,
-                    wall_time_s=None, extra=None) -> dict:
-    """Build one manifest record.
+                    wall_time_s=None, speedup_vs_exact=None,
+                    telemetry=None, extra=None) -> dict:
+    """Build one manifest record (schema :data:`SCHEMA`).
 
     ``stats`` (a ``SimulationStats``) contributes both the digest and a
     compact summary; ``payload`` digests arbitrary output (e.g. an
     experiment's CSV) when there is no single stats object.
+    ``telemetry`` takes the dict of
+    :meth:`~repro.obs.telemetry.WindowedAggregator.telemetry_block`;
+    ``speedup_vs_exact`` is the wall-time ratio of an exact-mode
+    reference run to this run (``None`` when no reference ran).
     """
     digest = None
     summary = None
@@ -112,6 +153,7 @@ def manifest_record(kind: str, name: str, *, arch=None, config=None,
     elif payload is not None:
         digest = _digest(payload)
     return {
+        "schema": SCHEMA,
         "kind": kind,
         "name": name,
         "arch": arch,
@@ -122,7 +164,10 @@ def manifest_record(kind: str, name: str, *, arch=None, config=None,
         "stats_summary": summary,
         "event_summary": _canonical(event_summary)
         if event_summary is not None else None,
+        "telemetry": _canonical(telemetry)
+        if telemetry is not None else None,
         "wall_time_s": wall_time_s,
+        "speedup_vs_exact": speedup_vs_exact,
         "created": time.time(),
         "extra": _canonical(extra) if extra is not None else {},
     }

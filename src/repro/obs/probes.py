@@ -75,6 +75,17 @@ event              callback signature
                    newly translated) covering ``block_cycles`` cycles
 ``block.done``     ``(index, stats)`` — the streaming driver finished and
                    verified block ``index``
+``telemetry.window`` ``(end_cycle, final, sync_cycles, retired, stalls)`` —
+                   the run loop crossed a fixed-cycle telemetry window
+                   boundary (see :attr:`ProbeBus.window_cycles`).
+                   ``end_cycle`` counts committed cycles, ``retired`` and
+                   ``stalls`` are per-core *cumulative* tuples and
+                   ``sync_cycles`` the cumulative lockstep-cycle count at
+                   the boundary; ``final`` marks the end-of-run flush
+                   (possibly a partial window).  Both execution paths
+                   ``flush()`` the bus immediately before emitting it, so
+                   no batched ring ever spans a window boundary — the
+                   invariant :mod:`repro.obs.telemetry` builds on.
 =================  ============================================================
 """
 
@@ -99,6 +110,7 @@ EVENTS = frozenset({
     "ff.exit",
     "ff.block",
     "block.done",
+    "telemetry.window",
 })
 
 #: Bits reserved for the PC in the packed ``(cycle, pc)`` encoding of
@@ -194,9 +206,31 @@ class EventRing:
 
     def __len__(self) -> int:
         """Number of pending *occurrences* (expanding RLE segments)."""
+        return self.occurrence_count()
+
+    def occurrence_count(self) -> int:
+        """Exact pending occurrences, without touching NumPy.
+
+        For non-RLE rings this is just ``len(data)``.  With run-length
+        segments each stored item of a ``stride == -r`` segment stands
+        for ``r`` occurrences; the marks are few (one triple per
+        segment), so walking them in pure Python is cheaper than the
+        vectorised expansion when only the count is needed (the
+        windowed-telemetry drains call this once per flush).
+        """
         if not self.rle:
             return len(self.data)
-        return int(self.compact()[1])
+        marks = self.marks
+        total = 0
+        n_marks = len(marks)
+        data_len = len(self.data)
+        for index in range(0, n_marks, 3):
+            start = marks[index + 1]
+            stride = marks[index + 2]
+            end = marks[index + 4] if index + 4 < n_marks else data_len
+            items = end - start
+            total += items * -stride if stride < 0 else items
+        return total
 
     def _packed_items(self):
         """Packed value and repeat count per stored item, vectorised."""
@@ -265,7 +299,8 @@ class ProbeBus:
     """Synchronous pub/sub hub for the platform's named probe events."""
 
     __slots__ = ("_subscribers", "_batch_subscribers", "_rings",
-                 "_flush_hooks", "_sample_every", "_sample_seen", "now")
+                 "_flush_hooks", "_sample_every", "_sample_seen", "now",
+                 "window_cycles")
 
     def __init__(self):
         self._subscribers: dict[str, list] = {}
@@ -274,6 +309,12 @@ class ProbeBus:
         self._flush_hooks: list = []
         self._sample_every: dict[str, int] = {}
         self._sample_seen: dict[str, int] = {}
+        #: Telemetry window length in cycles (0 = windowing off).  Set
+        #: by a :class:`~repro.obs.telemetry.WindowedAggregator` before
+        #: the run; the run loops emit ``telemetry.window`` (preceded by
+        #: a :meth:`flush`) every time the committed-cycle count crosses
+        #: a multiple of this value, and once more at the end of a run.
+        self.window_cycles = 0
         #: Current 0-based cycle, maintained by the emitting run loop
         #: while any subscriber is attached.  Lets hooks that fire from
         #: deeper components (crossbars, MMUs) timestamp their events
@@ -356,6 +397,7 @@ class ProbeBus:
         self._flush_hooks.clear()
         self._sample_every.clear()
         self._sample_seen.clear()
+        self.window_cycles = 0
 
     # -- sampling ----------------------------------------------------------
 

@@ -36,7 +36,8 @@ import pathlib
 import sys
 from dataclasses import dataclass, field
 
-from repro.obs.manifest import DEFAULT_DIRECTORY, MANIFEST_NAME
+from repro.obs.manifest import (DEFAULT_DIRECTORY, MANIFEST_NAME,
+                                SCHEMA_VERSION, schema_version)
 
 #: Record kinds whose digests are expected to be reproducible.
 #: ``benchmark`` records digest timing payloads and are excluded.
@@ -75,6 +76,32 @@ def load_records(directory) -> tuple[list[dict], int]:
             continue
         records.append(record)
     return records, skipped
+
+
+def filter_schema(records, where) -> tuple[list[dict], int]:
+    """Drop records whose manifest schema this checkout cannot read.
+
+    A newer checkout may have written ``runs/`` with a schema version
+    this parser does not know (the reverse of the corrupt-line case:
+    the record is perfectly valid, just from the future).  Those are a
+    skip-with-warning finding, never a hard error — an old release must
+    survive a newer CI artifact.  Returns ``(kept, skipped)``.
+    """
+    kept = []
+    skipped = 0
+    for record in records:
+        version = schema_version(record)
+        if version is not None and version <= SCHEMA_VERSION:
+            kept.append(record)
+            continue
+        tag = record.get("schema")
+        print(f"warning: {where}: skipping record "
+              f"{record.get('kind')}/{record.get('name')} with "
+              f"unsupported manifest schema {tag!r} (this checkout "
+              f"reads up to repro-manifest/{SCHEMA_VERSION})",
+              file=sys.stderr)
+        skipped += 1
+    return kept, skipped
 
 
 def group_key(record: dict) -> tuple:
@@ -179,6 +206,9 @@ class RegressionReport:
     findings: list[Finding]
     skipped_lines: int
     min_groups: int = 0
+    #: Valid records dropped for carrying a manifest schema newer than
+    #: this checkout understands (see :func:`filter_schema`).
+    skipped_schema: int = 0
 
     @property
     def ok(self) -> bool:
@@ -193,6 +223,9 @@ class RegressionReport:
         if self.skipped_lines:
             lines.append(f"  {self.skipped_lines} corrupt manifest "
                          f"line(s) skipped")
+        if self.skipped_schema:
+            lines.append(f"  {self.skipped_schema} record(s) with an "
+                         f"unsupported newer schema skipped")
         for finding in self.findings:
             lines.append(finding.describe())
         if self.groups_compared < self.min_groups:
@@ -211,6 +244,7 @@ class RegressionReport:
             "groups_checked": self.groups_checked,
             "groups_compared": self.groups_compared,
             "skipped_lines": self.skipped_lines,
+            "skipped_schema": self.skipped_schema,
             "min_groups": self.min_groups,
             "ok": self.ok,
             "findings": [finding.to_json() for finding in self.findings],
@@ -225,6 +259,8 @@ class RegressionReport:
             f"- groups checked / compared: {self.groups_checked} / "
             f"{self.groups_compared}",
             f"- corrupt lines skipped: {self.skipped_lines}",
+            f"- unsupported-schema records skipped: "
+            f"{self.skipped_schema}",
             "",
         ]
         if self.findings:
@@ -301,16 +337,19 @@ def run_regression(runs_dir=DEFAULT_DIRECTORY, baseline_dir=None,
                    min_groups: int = 0) -> RegressionReport:
     """Scan manifests and return the pass/fail report."""
     records, skipped = load_records(runs_dir)
+    records, schema_skipped = filter_schema(records, str(runs_dir))
     groups = group_records(records, kinds=kinds)
     if baseline_dir is not None:
         base_records, base_skipped = load_records(baseline_dir)
+        base_records, base_schema = filter_schema(base_records,
+                                                  str(baseline_dir))
         base_groups = group_records(base_records, kinds=kinds)
         compared, findings = _compare_baseline(base_groups, groups)
         return RegressionReport(
             "baseline", str(runs_dir), str(baseline_dir),
             len(groups), compared, findings, skipped + base_skipped,
-            min_groups)
+            min_groups, schema_skipped + base_schema)
     compared, findings = _compare_history(groups)
     return RegressionReport(
         "history", str(runs_dir), None, len(groups), compared, findings,
-        skipped, min_groups)
+        skipped, min_groups, schema_skipped)

@@ -1,0 +1,507 @@
+"""Streaming telemetry: rolling fixed-cycle-window summaries of a run.
+
+The probe bus (:mod:`repro.obs.probes`) made instrumentation cheap
+enough to leave on, but every consumer so far is post-hoc: metrics,
+traces and manifests are inspected after a run ends.  This module adds
+the *live* layer: a :class:`WindowedAggregator` folds the probe stream
+into fixed-cycle-window rolling summaries (:class:`WindowSummary`) while
+the simulation runs — per-core IPC and stall counts, fleet retire /
+stall / crossbar-conflict / broadcast / MMU-mix rates, lockstep
+fraction, plus streaming-mode block throughput and deadline misses.
+``repro watch`` renders these live; run manifests embed them as the
+``telemetry`` block (schema ``repro-manifest/2``); and
+:meth:`WindowedAggregator.merge` combines the per-window summaries of N
+aggregators (future simulation-farm shards) into one fleet view.
+
+Determinism contract (test-enforced in ``tests/obs/test_telemetry.py``):
+window summaries are **bit-identical** across the exact, fast-forward
+and translation-block execution modes and across batched / per-event
+probe delivery.  Two mechanisms make that hold:
+
+* Both run loops emit ``telemetry.window`` exactly when the
+  committed-cycle count crosses a multiple of
+  :attr:`ProbeBus.window_cycles` (and once more, flagged ``final``, at
+  the end of the run), carrying cumulative per-core retired/stall
+  snapshots and the cumulative lockstep-cycle count — architectural
+  quantities that are identical across modes after every cycle.  The
+  fast-forward engine declines to enter a translation block that would
+  commit past the next boundary (the per-cycle path covers the
+  remainder), so boundaries are always hit exactly.
+* Every boundary emission is preceded by a bus ``flush()``, so no
+  batched ring ever spans a boundary.  The aggregator can therefore
+  attribute *everything* — including the width/private ring columns
+  that carry no cycle number — to the currently open window, in both
+  delivery modes, without unpacking cycles at all.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, fields
+
+from repro.errors import ConfigurationError
+from repro.obs.manifest import stats_digest
+
+#: Default telemetry window length.  Small enough for a responsive live
+#: view of the ECG workload (dozens of windows per block), large enough
+#: that every translation block fits inside one window and the
+#: per-boundary flush cost vanishes.
+DEFAULT_WINDOW_CYCLES = 8192
+
+#: Schema tag of the ``telemetry`` manifest block.
+TELEMETRY_SCHEMA = "telemetry/1"
+
+#: Integer counter fields of :class:`WindowSummary`, in declaration
+#: order — the fields :meth:`WindowSummary.combine` sums and
+#: :meth:`WindowedAggregator.totals` accumulates.
+COUNTER_FIELDS = (
+    "retired", "stalls", "ixbar_conflicts", "dxbar_conflicts",
+    "im_broadcasts", "dm_broadcasts", "im_broadcast_savings",
+    "dm_broadcast_savings", "mmu_private", "mmu_shared", "sync_cycles",
+)
+
+
+def percentile(values, fraction: float):
+    """Smallest value covering ``fraction`` of ``values`` (None if empty).
+
+    Matches :meth:`repro.obs.metrics.Histogram.percentile` semantics so
+    window-derived and histogram-derived percentiles agree.
+    """
+    if not values:
+        return None
+    ordered = sorted(values)
+    rank = max(0, math.ceil(fraction * len(ordered)) - 1)
+    return ordered[rank]
+
+
+@dataclass(frozen=True)
+class WindowSummary:
+    """One closed telemetry window: pure integer counters plus geometry.
+
+    ``start_cycle``/``end_cycle`` are *stream* cycles: across a
+    multi-block streaming run the aggregator keeps accumulating, adding
+    each finished run's cycle count as an offset, so windows of block N
+    do not alias windows of block N+1.  All counters are exact event
+    counts within ``[start_cycle, end_cycle)``; per-core tuples come
+    from the boundary snapshots the run loops emit.
+    """
+
+    index: int
+    start_cycle: int
+    end_cycle: int
+    final: bool
+    retired: int
+    stalls: int
+    ixbar_conflicts: int
+    dxbar_conflicts: int
+    im_broadcasts: int
+    dm_broadcasts: int
+    im_broadcast_savings: int
+    dm_broadcast_savings: int
+    mmu_private: int
+    mmu_shared: int
+    sync_cycles: int
+    core_retired: tuple
+    core_stalls: tuple
+
+    # -- derived rates -----------------------------------------------------
+
+    @property
+    def cycles(self) -> int:
+        return self.end_cycle - self.start_cycle
+
+    @property
+    def ipc(self) -> float:
+        """Fleet instructions per cycle (all cores summed)."""
+        return self.retired / self.cycles if self.cycles else 0.0
+
+    @property
+    def stall_rate(self) -> float:
+        """Stall events per cycle (all cores summed)."""
+        return self.stalls / self.cycles if self.cycles else 0.0
+
+    @property
+    def conflicts(self) -> int:
+        return self.ixbar_conflicts + self.dxbar_conflicts
+
+    @property
+    def conflicts_per_kcycle(self) -> float:
+        return 1000.0 * self.conflicts / self.cycles if self.cycles else 0.0
+
+    @property
+    def broadcasts_per_kcycle(self) -> float:
+        total = self.im_broadcasts + self.dm_broadcasts
+        return 1000.0 * total / self.cycles if self.cycles else 0.0
+
+    @property
+    def lockstep_fraction(self) -> float:
+        return self.sync_cycles / self.cycles if self.cycles else 0.0
+
+    @property
+    def mmu_private_fraction(self) -> float:
+        total = self.mmu_private + self.mmu_shared
+        return self.mmu_private / total if total else 0.0
+
+    @property
+    def core_ipc(self) -> tuple:
+        cycles = self.cycles
+        if not cycles:
+            return tuple(0.0 for _ in self.core_retired)
+        return tuple(retired / cycles for retired in self.core_retired)
+
+    def to_dict(self) -> dict:
+        """JSON-friendly dump (integers only — digestable bit-exactly)."""
+        out = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            out[f.name] = list(value) if isinstance(value, tuple) else value
+        return out
+
+    @classmethod
+    def combine(cls, summaries) -> "WindowSummary":
+        """Merge same-index windows from several shards into one.
+
+        Integer counters sum; per-core tuples concatenate (the fleet's
+        cores are the union of the shards' cores); the window geometry
+        spans the shards.
+        """
+        summaries = list(summaries)
+        if not summaries:
+            raise ConfigurationError("cannot combine zero window summaries")
+        first = summaries[0]
+        if any(s.index != first.index for s in summaries):
+            raise ConfigurationError(
+                "combine() merges same-index windows across shards; got "
+                f"indices {sorted({s.index for s in summaries})}")
+        merged = {name: sum(getattr(s, name) for s in summaries)
+                  for name in COUNTER_FIELDS}
+        core_retired = []
+        core_stalls = []
+        for summary in summaries:
+            core_retired.extend(summary.core_retired)
+            core_stalls.extend(summary.core_stalls)
+        return cls(
+            index=first.index,
+            start_cycle=min(s.start_cycle for s in summaries),
+            end_cycle=max(s.end_cycle for s in summaries),
+            final=all(s.final for s in summaries),
+            core_retired=tuple(core_retired),
+            core_stalls=tuple(core_stalls),
+            **merged)
+
+
+def summaries_digest(summaries) -> str:
+    """Stable sha256 over a window-summary sequence.
+
+    Identical runs — regardless of execution mode or probe delivery
+    mode — produce identical digests; the regression machinery compares
+    them exactly like ``stats_digest``.
+    """
+    return stats_digest([summary.to_dict() for summary in summaries])
+
+
+class WindowedAggregator:
+    """Bus subscriber folding probe events into rolling window summaries.
+
+    Usage mirrors :class:`~repro.obs.metrics.ProbeMetrics`::
+
+        telemetry = WindowedAggregator.attach(system.probe_bus())
+        system.run(benchmark)
+        windows = telemetry.finish()      # list[WindowSummary]
+        print(telemetry.fleet_summary())
+
+    ``batched=True`` (default) consumes the typed ring buffers in bulk —
+    each drain costs one length/sum per flush, keeping the
+    watch-subscribed overhead inside the subscribed-cost CI budget
+    (``bench_obs_overhead.py`` gates it).  ``batched=False`` counts one
+    callback per occurrence; both modes produce bit-identical windows.
+
+    Live consumers append a callback to :attr:`listeners`; it fires with
+    each :class:`WindowSummary` the moment its window closes (from
+    inside the simulation loop — keep it cheap).
+
+    ``deadline_budget_cycles`` arms streaming-mode accounting: every
+    ``block.done`` event whose block exceeded the budget counts as a
+    deadline miss (:attr:`deadline_misses`).
+    """
+
+    def __init__(self, window_cycles: int = DEFAULT_WINDOW_CYCLES,
+                 deadline_budget_cycles: float | None = None):
+        if not isinstance(window_cycles, int) or window_cycles < 1:
+            raise ConfigurationError(
+                f"window_cycles must be a positive integer, "
+                f"got {window_cycles!r}")
+        self.window_cycles = window_cycles
+        self.deadline_budget_cycles = deadline_budget_cycles
+        self.windows: list[WindowSummary] = []
+        self.listeners: list = []
+        # streaming-mode accounting
+        self.blocks_done = 0
+        self.block_cycles: list[int] = []
+        self.deadline_misses = 0
+        # open-window accumulators (reset on every window close)
+        self._w = dict.fromkeys(COUNTER_FIELDS[:-1], 0)  # sync via snapshot
+        # boundary-snapshot bases (cumulative values at the last boundary)
+        self._base_retired: tuple | None = None
+        self._base_stalls: tuple | None = None
+        self._base_sync = 0
+        self._prev_end = 0      # run-relative cycle of the last boundary
+        self._offset = 0        # stream offset of finished runs
+        self._bus = None
+        self._batched = False
+
+    # -- wiring ------------------------------------------------------------
+
+    @classmethod
+    def attach(cls, bus, window_cycles: int = DEFAULT_WINDOW_CYCLES,
+               batched: bool = True,
+               deadline_budget_cycles: float | None = None) \
+            -> "WindowedAggregator":
+        aggregator = cls(window_cycles,
+                         deadline_budget_cycles=deadline_budget_cycles)
+        aggregator.subscribe(bus, batched=batched)
+        return aggregator
+
+    def subscribe(self, bus, batched: bool = True) -> None:
+        self._bus = bus
+        self._batched = batched
+        bus.window_cycles = self.window_cycles
+        self._handlers = {
+            "telemetry.window": self._on_window,
+            "block.done": self._on_block,
+        }
+        if batched:
+            self._batch_handlers = {
+                "core.retire": self._drain_retired,
+                "core.stall": self._drain_stalls,
+                "ixbar.conflict": self._drain_ixbar,
+                "dxbar.conflict": self._drain_dxbar,
+                "im.broadcast": self._drain_im_broadcast,
+                "dm.broadcast": self._drain_dm_broadcast,
+                "mmu.translate": self._drain_translate,
+            }
+            for event, drain in self._batch_handlers.items():
+                bus.subscribe_batch(event, drain)
+        else:
+            self._batch_handlers = {}
+            self._handlers.update({
+                "core.retire": self._on_retire,
+                "core.stall": self._on_stall,
+                "ixbar.conflict": self._on_ixbar,
+                "dxbar.conflict": self._on_dxbar,
+                "im.broadcast": self._on_im_broadcast,
+                "dm.broadcast": self._on_dm_broadcast,
+                "mmu.translate": self._on_translate,
+            })
+        for event, handler in self._handlers.items():
+            bus.subscribe(event, handler)
+
+    def detach(self) -> None:
+        if self._bus is None:
+            return
+        for event, handler in self._handlers.items():
+            self._bus.unsubscribe(event, handler)
+        for event, drain in self._batch_handlers.items():
+            self._bus.unsubscribe_batch(event, drain)
+        self._bus.window_cycles = 0
+        self._bus = None
+
+    def finish(self) -> list[WindowSummary]:
+        """The closed windows (the run loops close the final partial
+        window themselves via the ``final`` boundary, so unlike
+        :meth:`ProbeMetrics.finish` there is usually nothing left to
+        fold — this exists for symmetry and for aborted runs)."""
+        if self._batched and self._bus is not None:
+            self._bus.flush()
+        return self.windows
+
+    # -- batched drains ----------------------------------------------------
+
+    def _drain_retired(self, ring) -> None:
+        self._w["retired"] += ring.occurrence_count()
+
+    def _drain_stalls(self, ring) -> None:
+        self._w["stalls"] += ring.occurrence_count()
+
+    def _drain_ixbar(self, ring) -> None:
+        self._w["ixbar_conflicts"] += len(ring.data)
+
+    def _drain_dxbar(self, ring) -> None:
+        self._w["dxbar_conflicts"] += len(ring.data)
+
+    def _drain_im_broadcast(self, ring) -> None:
+        count = len(ring.data)
+        self._w["im_broadcasts"] += count
+        self._w["im_broadcast_savings"] += sum(ring.data) - count
+
+    def _drain_dm_broadcast(self, ring) -> None:
+        count = len(ring.data)
+        self._w["dm_broadcasts"] += count
+        self._w["dm_broadcast_savings"] += sum(ring.data) - count
+
+    def _drain_translate(self, ring) -> None:
+        private = sum(ring.data)
+        self._w["mmu_private"] += private
+        self._w["mmu_shared"] += len(ring.data) - private
+
+    # -- per-event handlers (batched=False) --------------------------------
+
+    def _on_retire(self, cycle, pid, pc) -> None:
+        self._w["retired"] += 1
+
+    def _on_stall(self, cycle, pid, pc) -> None:
+        self._w["stalls"] += 1
+
+    def _on_ixbar(self, cycle, bank, masters) -> None:
+        self._w["ixbar_conflicts"] += 1
+
+    def _on_dxbar(self, cycle, bank, masters) -> None:
+        self._w["dxbar_conflicts"] += 1
+
+    def _on_im_broadcast(self, cycle, bank, width) -> None:
+        self._w["im_broadcasts"] += 1
+        self._w["im_broadcast_savings"] += width - 1
+
+    def _on_dm_broadcast(self, cycle, bank, width) -> None:
+        self._w["dm_broadcasts"] += 1
+        self._w["dm_broadcast_savings"] += width - 1
+
+    def _on_translate(self, cycle, pid, logical, bank, offset,
+                      private) -> None:
+        key = "mmu_private" if private else "mmu_shared"
+        self._w[key] += 1
+
+    def _on_block(self, index, stats) -> None:
+        self.blocks_done += 1
+        self.block_cycles.append(stats.total_cycles)
+        budget = self.deadline_budget_cycles
+        if budget is not None and stats.total_cycles > budget:
+            self.deadline_misses += 1
+
+    # -- window boundaries -------------------------------------------------
+
+    def _on_window(self, end_cycle, final, sync_cycles, retired,
+                   stalls) -> None:
+        start = self._prev_end
+        if end_cycle > start:
+            base_retired = self._base_retired or (0,) * len(retired)
+            base_stalls = self._base_stalls or (0,) * len(stalls)
+            summary = WindowSummary(
+                index=len(self.windows),
+                start_cycle=self._offset + start,
+                end_cycle=self._offset + end_cycle,
+                final=final,
+                core_retired=tuple(
+                    now - base for now, base in zip(retired, base_retired)),
+                core_stalls=tuple(
+                    now - base for now, base in zip(stalls, base_stalls)),
+                sync_cycles=sync_cycles - self._base_sync,
+                **self._w)
+            self.windows.append(summary)
+            self._w = dict.fromkeys(self._w, 0)
+            for listener in self.listeners:
+                listener(summary)
+        if final:
+            # End of one run: the next run's cycle count and cumulative
+            # snapshots restart from zero (streaming re-loads the
+            # machine), so shift the stream offset and drop the bases.
+            self._offset += end_cycle
+            self._prev_end = 0
+            self._base_retired = None
+            self._base_stalls = None
+            self._base_sync = 0
+        else:
+            self._prev_end = end_cycle
+            self._base_retired = tuple(retired)
+            self._base_stalls = tuple(stalls)
+            self._base_sync = sync_cycles
+
+    # -- reductions --------------------------------------------------------
+
+    def totals(self) -> dict:
+        """Whole-stream sums over all closed windows.
+
+        Bit-equal to the corresponding whole-run metrics-registry
+        counters (the telemetry property suite asserts this): windowing
+        partitions the event stream, it never resamples it.
+        """
+        out = dict.fromkeys(COUNTER_FIELDS, 0)
+        for window in self.windows:
+            for name in COUNTER_FIELDS:
+                out[name] += getattr(window, name)
+        out["cycles"] = sum(window.cycles for window in self.windows)
+        return out
+
+    def merge(self, *others) -> list[WindowSummary]:
+        """Fleet view: combine this aggregator's windows with others'.
+
+        Accepts aggregators or plain window lists.  Windows are aligned
+        by index (farm shards running the same workload close windows at
+        the same boundaries); see :meth:`WindowSummary.combine`.
+        """
+        groups = [self.windows]
+        for other in others:
+            groups.append(other.windows
+                          if isinstance(other, WindowedAggregator)
+                          else list(other))
+        by_index: dict[int, list] = {}
+        for windows in groups:
+            for window in windows:
+                by_index.setdefault(window.index, []).append(window)
+        return [WindowSummary.combine(by_index[index])
+                for index in sorted(by_index)]
+
+    def fleet_summary(self, recent: int = 16) -> dict:
+        """Rolling fleet digest: totals plus last/mean/p50/p99 of the
+        per-window rates over the ``recent`` most recent windows."""
+        windows = self.windows[-recent:] if recent else list(self.windows)
+        rates = {
+            "ipc": [w.ipc for w in windows],
+            "stall_rate": [w.stall_rate for w in windows],
+            "conflicts_per_kcycle": [w.conflicts_per_kcycle
+                                     for w in windows],
+            "broadcasts_per_kcycle": [w.broadcasts_per_kcycle
+                                      for w in windows],
+            "lockstep_fraction": [w.lockstep_fraction for w in windows],
+        }
+        summary = {
+            "windows": len(self.windows),
+            "window_cycles": self.window_cycles,
+            "stream_cycles": self.windows[-1].end_cycle
+            if self.windows else 0,
+            "totals": self.totals(),
+            "rates": {
+                name: {
+                    "last": values[-1] if values else None,
+                    "mean": sum(values) / len(values) if values else None,
+                    "p50": percentile(values, 0.50),
+                    "p99": percentile(values, 0.99),
+                } for name, values in rates.items()
+            },
+        }
+        if self.blocks_done:
+            summary["streaming"] = {
+                "blocks_done": self.blocks_done,
+                "deadline_budget_cycles": self.deadline_budget_cycles,
+                "deadline_misses": self.deadline_misses,
+                "worst_block_cycles": max(self.block_cycles),
+                "p50_block_cycles": percentile(self.block_cycles, 0.50),
+            }
+        return summary
+
+    def digest(self) -> str:
+        """Stable sha256 over every closed window (see
+        :func:`summaries_digest`)."""
+        return summaries_digest(self.windows)
+
+    def telemetry_block(self) -> dict:
+        """The ``telemetry`` block a ``repro-manifest/2`` record embeds."""
+        return {
+            "schema": TELEMETRY_SCHEMA,
+            "window_cycles": self.window_cycles,
+            "windows": len(self.windows),
+            "digest": self.digest(),
+            "window_digests": [summaries_digest([window])
+                               for window in self.windows],
+            "fleet": self.fleet_summary(),
+        }

@@ -135,6 +135,11 @@ class MultiCoreSystem:
             translation_blocks = _DEFAULT_TRANSLATION_BLOCKS
         self.fast_forward = bool(fast_forward)
         self.translation_blocks = bool(translation_blocks)
+        #: Loop-trace layer switch (set before :meth:`load`/:meth:`run`).
+        #: Traces never run observed anyway; disabling them outright
+        #: gives the overhead benchmark a bare run of the observed
+        #: shape to compare against.
+        self.loop_traces = True
         self._ff_engine: FastForwardEngine | None = None
         self.im_layout = config.im_layout()
         self.dm_layout = config.dm_layout()
@@ -218,7 +223,8 @@ class MultiCoreSystem:
                 self, compile_program(self.decoded),
                 decoded=self.decoded,
                 img_hash=image_hash(program.words),
-                translation_blocks=self.translation_blocks)
+                translation_blocks=self.translation_blocks,
+                loop_traces=self.loop_traces)
         else:
             self._ff_engine = None
         self.benchmark = benchmark
@@ -267,12 +273,19 @@ class MultiCoreSystem:
         # per-event emit; both are hoisted once per run.
         bus = self.probes
         observing = bus is not None and bus.active
-        p_retire = p_stall = hooked_mmus = False
+        p_retire = p_stall = p_win = hooked_mmus = False
         ap_retire = ap_stall = mk_retire = mk_stall = None
         rt_data = st_data = None
+        win = 0
         if observing:
             p_retire = bus.wants("core.retire")
             p_stall = bus.wants("core.stall")
+            # Telemetry windowing (repro.obs.telemetry): cross a
+            # boundary -> flush the rings (so no batch spans it), then
+            # emit the boundary snapshot.  Both conditions hoisted; the
+            # fast-forward engine applies the same protocol.
+            win = bus.window_cycles
+            p_win = win > 0 and bus.wants("telemetry.window")
             if p_retire:
                 ring = bus.batch("core.retire")
                 if ring is not None:
@@ -440,6 +453,11 @@ class MultiCoreSystem:
                         halted_now.append(pid)
                 for pid in halted_now:
                     running.discard(pid)
+                if p_win and not cycle % win:
+                    bus.flush()
+                    bus.emit("telemetry.window", cycle, False, sync_cycles,
+                             tuple(core.retired for core in cores),
+                             tuple(cs.stall_cycles for cs in core_stats))
         finally:
             if observing:
                 ixbar.probe_conflict = ixbar.probe_broadcast = None
@@ -450,6 +468,13 @@ class MultiCoreSystem:
                         mmu.probe_ring = None
                 bus.flush()
 
+        if p_win:
+            # Final (possibly partial) window; doubles as the run
+            # separator for streaming consumers.  The finally block
+            # above already flushed, so every ring event precedes it.
+            bus.emit("telemetry.window", cycle, True, sync_cycles,
+                     tuple(core.retired for core in cores),
+                     tuple(cs.stall_cycles for cs in core_stats))
         return SimulationResult(
             benchmark=self.benchmark,
             stats=self._collect_stats(cycle, sync_cycles, core_stats),

@@ -26,12 +26,13 @@ from repro.memory.mmu import MMU
 
 # Geometries around the paper's (16 banks x 2048 words, 8 cores,
 # 768-word shared split), constrained to the layout's invariants:
-# banks divide evenly among cores, the split leaves both sections room.
+# banks divide evenly among cores, the split leaves both sections room,
+# and the shared section fits the logical window below PRIVATE_BASE.
 _GEOMETRIES = st.tuples(
     st.sampled_from((8, 16, 32)),          # banks
     st.sampled_from((256, 1024, 2048)),    # words per bank
     st.sampled_from((64, 128, 768)),       # shared words per bank
-).filter(lambda g: g[2] < g[1]).map(
+).filter(lambda g: g[2] < g[1] and g[0] * g[2] <= PRIVATE_BASE).map(
     lambda g: DataMemoryLayout(banks=g[0], bank_words=g[1],
                                shared_words_per_bank=g[2]))
 

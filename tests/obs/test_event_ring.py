@@ -1,0 +1,180 @@
+"""Property tests for the :class:`EventRing` packed reconstruction.
+
+The ring trades per-event allocation for a deferred reconstruction:
+hot loops append one bare ``pc`` per occurrence plus a handful of
+``(cycle, start_offset, stride)`` marks, and the drain rebuilds the
+packed ``(cycle << PC_BITS) | pc`` stream vectorised.  Three mark
+flavours coexist in one ring (per-cycle ``stride == 0``, grouped
+``stride == k``, run-length ``stride == -r``), so the properties run
+over random interleavings of all three against a pure-Python reference
+expansion:
+
+* **Reconstruction** — ``as_array`` equals the reference occurrence
+  stream, and ``occurrence_count``/``__len__`` equal its length.
+* **Compact consistency** — ``compact`` is idempotent, reports the
+  exact occurrence count, covers the same distinct packed values as
+  the full expansion, and leaves the ring intact.
+* **Clear hygiene** — after a partial drain ``clear`` empties the ring
+  in place (the hot loops' bound ``data.append`` stays valid) and a
+  fresh batch reconstructs without residue.
+* **Flush-split equivalence** — delivering one run's events through a
+  real :class:`ProbeBus` in arbitrarily many flushes yields the same
+  concatenated stream as one flush at the end; the run loops' periodic
+  ring-bounding flushes land at arbitrary segment boundaries, so the
+  split point must never matter.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.probes import (PC_BITS, PC_MASK, EventRing, ProbeBus,
+                              pack_cycle_pc, unpack_cycle_pc)
+
+_PCS = st.integers(min_value=0, max_value=PC_MASK)
+
+
+@st.composite
+def _plans(draw, min_segments=1, max_segments=8):
+    """A random mark-segment plan: list of segment descriptors."""
+    segments = []
+    for _ in range(draw(st.integers(min_segments, max_segments))):
+        kind = draw(st.sampled_from(["per-cycle", "grouped", "rle"]))
+        if kind == "per-cycle":
+            segments.append((kind, 0, draw(st.lists(_PCS, max_size=6))))
+        elif kind == "grouped":
+            k = draw(st.integers(1, 4))
+            m = draw(st.integers(1, 4))
+            segments.append(
+                (kind, k, draw(st.lists(_PCS, min_size=k * m,
+                                        max_size=k * m))))
+        else:
+            r = draw(st.integers(1, 4))
+            m = draw(st.integers(1, 4))
+            segments.append(
+                (kind, r, draw(st.lists(_PCS, min_size=m, max_size=m))))
+    return segments
+
+
+def _write_segment(ring, cycle, segment):
+    """Append one plan segment as the run loops would; return the
+    reference occurrence stream and the next free cycle."""
+    kind, param, pcs = segment
+    marks, reference = ring.marks, []
+    if kind == "per-cycle":
+        marks.extend((cycle, len(ring.data), 0))
+        reference = [pack_cycle_pc(cycle, pc) for pc in pcs]
+        covered = 1
+    elif kind == "grouped":
+        marks.extend((cycle, len(ring.data), param))
+        reference = [pack_cycle_pc(cycle + i // param, pc)
+                     for i, pc in enumerate(pcs)]
+        covered = len(pcs) // param
+    else:
+        marks.extend((cycle, len(ring.data), -param))
+        ring.rle = True
+        for i, pc in enumerate(pcs):
+            reference.extend([pack_cycle_pc(cycle + i, pc)] * param)
+        covered = len(pcs)
+    ring.data.extend(pcs)
+    return reference, cycle + covered
+
+
+def _build(ring, plan, cycle=0):
+    reference = []
+    for segment in plan:
+        chunk, cycle = _write_segment(ring, cycle, segment)
+        reference.extend(chunk)
+    return reference, cycle
+
+
+@settings(max_examples=80, deadline=None)
+@given(plan=_plans())
+def test_reconstruction_matches_reference(plan):
+    ring = EventRing("core.retire")
+    reference, _ = _build(ring, plan)
+    assert ring.as_array().tolist() == reference
+    assert ring.occurrence_count() == len(reference)
+    assert len(ring) == len(reference)
+
+
+@settings(max_examples=80, deadline=None)
+@given(plan=_plans())
+def test_compact_idempotent_and_exact(plan):
+    ring = EventRing("core.retire")
+    reference, _ = _build(ring, plan)
+    packed_a, count_a = ring.compact()
+    packed_b, count_b = ring.compact()
+    assert packed_a.tolist() == packed_b.tolist()
+    assert count_a == count_b == len(reference)
+    # Compact never expands RLE runs but must cover the same distinct
+    # (cycle, pc) pairs as the full expansion — that is what lets the
+    # per-cycle dedup reductions use it interchangeably.
+    assert set(packed_a.tolist()) == set(reference)
+    assert len(packed_a) == len(ring.data)
+    # ...and it must not consume the batch.
+    assert ring.as_array().tolist() == reference
+
+
+@settings(max_examples=60, deadline=None)
+@given(first=_plans(), second=_plans())
+def test_clear_after_partial_drain(first, second):
+    ring = EventRing("core.retire")
+    append = ring.data.append          # the hot loops' bound method
+    _build(ring, first)
+    ring.as_array()                    # partial drain: batch consumed...
+    ring.clear()                       # ...then cleared in place
+    assert not ring.data and not ring.marks and not ring.rle
+    assert ring.occurrence_count() == 0
+    assert ring.as_array().size == 0
+    reference, _ = _build(ring, second)
+    append(7)                          # bound append survives clear()
+    ring.marks.extend((10 ** 6, len(ring.data) - 1, 0))
+    reference.append(pack_cycle_pc(10 ** 6, 7))
+    assert ring.as_array().tolist() == reference
+
+
+@settings(max_examples=60, deadline=None)
+@given(plan=_plans(min_segments=2),
+       cuts=st.sets(st.integers(min_value=1, max_value=7)))
+def test_flush_split_equivalence(plan, cuts):
+    """Splitting one event stream across N bus flushes is invisible.
+
+    The multicore loop flushes every 16384 cycles and the fast-forward
+    engine flushes around long stretches, so batch boundaries fall
+    wherever the run happens to put them — collectors must see the
+    same concatenated stream regardless.
+    """
+    def deliver(split_points):
+        bus = ProbeBus()
+        collected, flushes = [], [0]
+        bus.subscribe_batch(
+            "core.retire",
+            lambda ring: collected.extend(ring.as_array().tolist()))
+        bus.subscribe_flush(lambda: flushes.__setitem__(0, flushes[0] + 1))
+        ring = bus.batch("core.retire")
+        assert ring is not None
+        reference, cycle = [], 0
+        for index, segment in enumerate(plan):
+            chunk, cycle = _write_segment(ring, cycle, segment)
+            reference.extend(chunk)
+            if index in split_points:
+                bus.flush()
+        bus.flush()
+        bus.flush()                    # empty ring: no hook, no drain
+        return collected, reference, flushes[0]
+
+    split, reference, n_flushes = deliver({c for c in cuts
+                                           if c < len(plan) - 1})
+    single, reference_single, _ = deliver(set())
+    assert reference == reference_single
+    assert split == single == reference
+    assert n_flushes <= len(plan)      # the trailing no-op never fires
+
+
+@settings(max_examples=100, deadline=None)
+@given(cycle=st.integers(min_value=0, max_value=(1 << 37) - 1),
+       pc=st.integers(min_value=0, max_value=PC_MASK))
+def test_pack_unpack_roundtrip(cycle, pc):
+    packed = pack_cycle_pc(cycle, pc)
+    assert unpack_cycle_pc(packed) == (cycle, pc)
+    assert pack_cycle_pc(cycle, PC_MASK) >> PC_BITS == cycle

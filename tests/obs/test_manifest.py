@@ -7,12 +7,13 @@ import pytest
 from repro.kernels import BenchmarkSpec, build_benchmark
 from repro.obs import (config_digest, git_revision, manifest_record,
                        read_manifests, stats_digest, write_manifest)
+from repro.obs.manifest import SCHEMA, SCHEMA_VERSION, schema_version
 from repro.platform import build_platform
 
 REQUIRED_FIELDS = {
-    "kind", "name", "arch", "config", "config_hash", "git_rev",
-    "stats_digest", "stats_summary", "event_summary", "wall_time_s",
-    "created", "extra",
+    "schema", "kind", "name", "arch", "config", "config_hash", "git_rev",
+    "stats_digest", "stats_summary", "event_summary", "telemetry",
+    "wall_time_s", "speedup_vs_exact", "created", "extra",
 }
 
 
@@ -54,9 +55,42 @@ class TestRecord:
     def test_schema_fields_always_present(self):
         record = manifest_record("benchmark", "smoke")
         assert set(record) == REQUIRED_FIELDS
+        assert record["schema"] == SCHEMA
         assert record["arch"] is None
         assert record["stats_digest"] is None
+        assert record["telemetry"] is None
+        assert record["speedup_vs_exact"] is None
         assert record["extra"] == {}
+
+    def test_schema_version_parsing(self):
+        assert schema_version(manifest_record("benchmark", "x")) \
+            == SCHEMA_VERSION
+        assert schema_version({"kind": "trace"}) == 1  # v1: no tag
+        assert schema_version({"schema": "repro-manifest/99"}) == 99
+        assert schema_version({"schema": "not-a-manifest"}) is None
+        assert schema_version({"schema": 3}) is None
+
+    def test_telemetry_block_round_trips(self, run):
+        from repro.obs import WindowedAggregator
+
+        built = build_benchmark(BenchmarkSpec(n_samples=64,
+                                              n_measurements=32,
+                                              huffman_private=True))
+        system = build_platform("ulpmc-bank", fast_forward=True)
+        aggregator = WindowedAggregator.attach(system.probe_bus(),
+                                               window_cycles=1024)
+        system.run(built.benchmark)
+        aggregator.detach()
+        record = manifest_record(
+            "watch", "ecg", arch="ulpmc-bank",
+            telemetry=aggregator.telemetry_block(),
+            wall_time_s=0.5, speedup_vs_exact=3.0)
+        json.dumps(record)
+        block = record["telemetry"]
+        assert block["schema"] == "telemetry/1"
+        assert block["windows"] == len(aggregator.windows) > 0
+        assert block["digest"] == aggregator.digest()
+        assert len(block["window_digests"]) == block["windows"]
 
     def test_record_from_stats(self, run):
         system, result = run

@@ -178,3 +178,66 @@ def test_missing_directory_is_empty_not_fatal(tmp_path):
     report = run_regression(tmp_path / "nowhere")
     assert report.ok
     assert report.groups_checked == 0
+
+
+def test_newer_schema_records_skipped_with_warning(tmp_path, capsys):
+    # A future checkout wrote the manifest: its records are valid JSON
+    # but carry a schema this parser does not know.  The gate must
+    # skip them (with a warning) and still judge the readable ones.
+    future = dict(_record(created=3.0, digest="digest-future"),
+                  schema="repro-manifest/99")
+    runs = _write(tmp_path / "runs",
+                  [_record(created=1.0), _record(created=2.0), future])
+    report = run_regression(runs, min_groups=1)
+    assert report.ok
+    assert report.skipped_schema == 1
+    assert report.groups_checked == 1
+    err = capsys.readouterr().err
+    assert "unsupported manifest schema 'repro-manifest/99'" in err
+
+
+def test_unparseable_schema_tag_treated_as_foreign(tmp_path, capsys):
+    # Tags that do not even split as repro-manifest/<n> come from a
+    # foreign file; same skip-don't-raise treatment as newer versions.
+    alien = dict(_record(digest="digest-alien"), schema="not-a-manifest")
+    runs = _write(tmp_path / "runs",
+                  [_record(created=1.0), _record(created=2.0), alien])
+    report = run_regression(runs, min_groups=1)
+    assert report.ok
+    assert report.skipped_schema == 1
+    assert "unsupported manifest schema 'not-a-manifest'" \
+        in capsys.readouterr().err
+
+
+def test_current_and_v1_schemas_both_kept(tmp_path):
+    # Records predating the schema field are v1; records tagged with
+    # the current version pass the filter too.  Their digests compare.
+    tagged = dict(_record(created=2.0), schema="repro-manifest/2")
+    runs = _write(tmp_path / "runs", [_record(created=1.0), tagged])
+    report = run_regression(runs, min_groups=1)
+    assert report.ok
+    assert report.skipped_schema == 0
+    assert report.groups_checked == 1
+
+
+def test_schema_skips_counted_from_baseline_too(tmp_path, capsys):
+    runs = _write(tmp_path / "runs", [_record(created=2.0)])
+    baseline = _write(tmp_path / "baseline", [
+        _record(created=1.0),
+        dict(_record(created=1.5), schema="repro-manifest/99"),
+    ])
+    report = run_regression(runs, baseline_dir=baseline, min_groups=1)
+    assert report.ok
+    assert report.skipped_schema == 1
+    assert str(baseline) in capsys.readouterr().err
+
+
+def test_schema_skips_surface_in_every_format(tmp_path):
+    runs = _write(tmp_path / "runs", [
+        _record(created=1.0), _record(created=2.0),
+        dict(_record(created=3.0), schema="repro-manifest/99"),
+    ])
+    report = run_regression(runs, min_groups=1)
+    assert "unsupported newer schema skipped" in report.to_text()
+    assert json.loads(report.to_json())["skipped_schema"] == 1
+    assert "unsupported-schema records skipped: 1" in report.to_markdown()

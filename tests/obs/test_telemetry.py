@@ -1,0 +1,224 @@
+"""Windowed-telemetry determinism and reconciliation properties.
+
+The aggregator's whole value rests on two contracts (see the module
+docstring of :mod:`repro.obs.telemetry`):
+
+* **Bit identity** — the per-window summary stream is identical across
+  the exact, fast-forward and translation-block execution modes and
+  across batched / per-event probe delivery.  Six run configurations
+  per platform, one digest.
+* **Partition, not resample** — summing the windows reproduces the
+  whole-run totals exactly: the metrics-registry counters, the
+  :class:`~repro.platform.stats.SimulationStats` fields and the
+  per-core retire/stall counts.
+
+Plus the fleet-merge algebra, the streaming offsets/deadline
+accounting, and the small pure helpers.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.kernels import BenchmarkSpec, build_benchmark
+from repro.obs import ProbeMetrics, WindowedAggregator, summaries_digest
+from repro.obs.telemetry import COUNTER_FIELDS, WindowSummary, percentile
+from repro.platform import build_platform
+
+WINDOW = 1024
+
+#: label -> build_platform kwargs; the three execution paths that must
+#: agree bit-for-bit.
+MODES = {
+    "exact": dict(fast_forward=False),
+    "fast-forward": dict(fast_forward=True, translation_blocks=False),
+    "blocks": dict(fast_forward=True, translation_blocks=True),
+}
+
+
+@pytest.fixture(scope="module")
+def built():
+    return build_benchmark(BenchmarkSpec(n_samples=64, n_measurements=32,
+                                         huffman_private=True))
+
+
+def _run(built, arch, batched=True, window=WINDOW, **platform_kw):
+    system = build_platform(arch, **platform_kw)
+    aggregator = WindowedAggregator.attach(
+        system.probe_bus(), window_cycles=window, batched=batched)
+    result = system.run(built.benchmark)
+    aggregator.detach()
+    return aggregator, result
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("arch", ["mc-ref", "ulpmc-int", "ulpmc-bank"])
+    def test_windows_identical_across_modes_and_delivery(self, built, arch):
+        digests = {}
+        for label, platform_kw in MODES.items():
+            for batched in (True, False):
+                aggregator, _ = _run(built, arch, batched=batched,
+                                     **platform_kw)
+                assert len(aggregator.windows) > 1, \
+                    "identity would be vacuous with <2 windows"
+                digests[(label, batched)] = aggregator.digest()
+        assert len(set(digests.values())) == 1, digests
+
+    def test_boundaries_exact_and_final_flagged(self, built):
+        aggregator, result = _run(built, "ulpmc-bank", fast_forward=True,
+                                  translation_blocks=True)
+        windows = aggregator.windows
+        for window in windows[:-1]:
+            assert not window.final
+            assert window.end_cycle % WINDOW == 0
+            assert window.cycles == WINDOW
+        assert windows[-1].final
+        assert windows[-1].end_cycle == result.stats.total_cycles
+        assert [w.index for w in windows] == list(range(len(windows)))
+
+
+class TestPartition:
+    @pytest.fixture(scope="class", params=["exact", "blocks"])
+    def run(self, built, request):
+        # The metrics collector and the aggregator ride the same bus:
+        # both batch-drain the same rings, so agreement is end-to-end.
+        system = build_platform("ulpmc-bank", **MODES[request.param])
+        bus = system.probe_bus()
+        collector = ProbeMetrics.attach(bus)
+        aggregator = WindowedAggregator.attach(bus, window_cycles=WINDOW)
+        result = system.run(built.benchmark)
+        collector.finish()
+        aggregator.detach()
+        return aggregator, collector, result
+
+    def test_totals_match_metrics_registry(self, run):
+        aggregator, collector, _ = run
+        totals = aggregator.totals()
+        snapshot = collector.registry.snapshot()
+        assert totals["retired"] == snapshot["probe.retired"]
+        assert totals["stalls"] == snapshot["probe.stall_cycles"]
+        assert totals["ixbar_conflicts"] == snapshot["probe.ixbar_conflicts"]
+        assert totals["dxbar_conflicts"] == snapshot["probe.dxbar_conflicts"]
+        assert totals["im_broadcasts"] == snapshot["probe.im_broadcasts"]
+        assert totals["dm_broadcasts"] == snapshot["probe.dm_broadcasts"]
+        assert totals["mmu_private"] == snapshot["probe.mmu_private"]
+        assert totals["mmu_shared"] == snapshot["probe.mmu_shared"]
+
+    def test_totals_match_simulation_stats(self, run):
+        aggregator, _, result = run
+        stats = result.stats
+        totals = aggregator.totals()
+        assert totals["cycles"] == stats.total_cycles
+        assert totals["retired"] == stats.total_retired
+        assert totals["stalls"] == stats.total_stall_cycles
+        assert totals["sync_cycles"] == stats.sync_cycles
+        assert totals["ixbar_conflicts"] == stats.im_conflict_events
+        assert totals["dxbar_conflicts"] == stats.dm_conflict_events
+        assert totals["im_broadcasts"] == stats.im_broadcasts
+        assert totals["dm_broadcasts"] == stats.dm_broadcasts
+        assert totals["im_broadcast_savings"] == stats.im_broadcast_savings
+        assert totals["dm_broadcast_savings"] == stats.dm_broadcast_savings
+        assert totals["mmu_private"] == stats.dm_private_accesses
+        assert totals["mmu_shared"] == stats.dm_shared_accesses
+
+    def test_per_core_window_sums_match_stats(self, run):
+        aggregator, _, result = run
+        windows = aggregator.windows
+        n = len(result.stats.cores)
+        for pid in range(n):
+            assert sum(w.core_retired[pid] for w in windows) \
+                == result.stats.cores[pid].retired
+            assert sum(w.core_stalls[pid] for w in windows) \
+                == result.stats.cores[pid].stall_cycles
+
+
+class TestMerge:
+    def test_merge_doubles_counters_and_concatenates_cores(self, built):
+        first, _ = _run(built, "ulpmc-int", fast_forward=True)
+        second, _ = _run(built, "ulpmc-int", fast_forward=True)
+        merged = first.merge(second)
+        assert len(merged) == len(first.windows)
+        for fleet, shard in zip(merged, first.windows):
+            for name in COUNTER_FIELDS:
+                assert getattr(fleet, name) == 2 * getattr(shard, name)
+            assert fleet.core_retired \
+                == shard.core_retired + shard.core_retired
+            assert fleet.cycles == shard.cycles
+
+    def test_merge_accepts_plain_window_lists(self, built):
+        aggregator, _ = _run(built, "mc-ref", fast_forward=True)
+        merged = aggregator.merge(list(aggregator.windows))
+        assert summaries_digest(merged) != aggregator.digest()  # doubled
+        assert merged[0].retired == 2 * aggregator.windows[0].retired
+
+    def test_combine_rejects_mixed_indices(self, built):
+        aggregator, _ = _run(built, "mc-ref", fast_forward=True)
+        with pytest.raises(ConfigurationError):
+            WindowSummary.combine(aggregator.windows[:2])
+        with pytest.raises(ConfigurationError):
+            WindowSummary.combine([])
+
+
+class TestStreaming:
+    @pytest.fixture(scope="class")
+    def stream(self, built):
+        from repro.kernels.benchmark import build_block_series
+        from repro.platform.streaming import run_stream
+
+        spec = BenchmarkSpec(n_samples=64, n_measurements=32,
+                             huffman_private=True)
+        series = build_block_series(spec, n_blocks=3)
+        system = build_platform("ulpmc-bank", fast_forward=True)
+        aggregator = WindowedAggregator.attach(
+            system.probe_bus(), window_cycles=WINDOW,
+            deadline_budget_cycles=1.0)  # everything misses
+        report = run_stream("ulpmc-bank", series, clock_hz=1e6,
+                            system=system)
+        aggregator.detach()
+        return aggregator, report
+
+    def test_stream_offsets_never_alias(self, stream):
+        aggregator, _ = stream
+        edges = [(w.start_cycle, w.end_cycle) for w in aggregator.windows]
+        assert all(start < end for start, end in edges)
+        assert all(prev[1] == cur[0]
+                   for prev, cur in zip(edges, edges[1:])), \
+            "windows must tile the stream without gaps or overlap"
+
+    def test_stream_totals_cover_all_blocks(self, stream):
+        aggregator, report = stream
+        assert aggregator.blocks_done == 3
+        assert aggregator.totals()["cycles"] \
+            == sum(aggregator.block_cycles)
+        assert sum(1 for w in aggregator.windows if w.final) == 3
+
+    def test_deadline_misses_counted(self, stream):
+        aggregator, _ = stream
+        assert aggregator.deadline_misses == 3
+        fleet = aggregator.fleet_summary()
+        assert fleet["streaming"]["deadline_misses"] == 3
+        assert fleet["streaming"]["blocks_done"] == 3
+
+
+class TestHelpers:
+    def test_percentile_semantics(self):
+        assert percentile([], 0.5) is None
+        assert percentile([3.0], 0.99) == 3.0
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 0.50) == 2.0
+        assert percentile(values, 0.99) == 4.0
+
+    def test_window_cycles_validation(self):
+        with pytest.raises(ConfigurationError):
+            WindowedAggregator(window_cycles=0)
+        with pytest.raises(ConfigurationError):
+            WindowedAggregator(window_cycles="8192")
+
+    def test_fleet_summary_shape(self, built):
+        aggregator, _ = _run(built, "mc-ref", fast_forward=True)
+        fleet = aggregator.fleet_summary(recent=4)
+        assert fleet["windows"] == len(aggregator.windows)
+        for name in ("ipc", "stall_rate", "conflicts_per_kcycle",
+                     "broadcasts_per_kcycle", "lockstep_fraction"):
+            stats = fleet["rates"][name]
+            assert set(stats) == {"last", "mean", "p50", "p99"}
+        assert "streaming" not in fleet  # no block.done events

@@ -106,3 +106,56 @@ class TestProfile:
         out = capsys.readouterr().out
         assert "== mc-ref (fast-forward" in out
         assert "probe/stats reconciliation ok" in out
+
+
+class TestWatch:
+    ARGS = ["watch", "--arch", "mc-ref", "--fast-forward", "--samples",
+            "64", "--measurements", "32", "--window", "1024"]
+
+    def test_json_lines_stream_and_manifest(self, tmp_path, capsys):
+        assert main(self.ARGS + ["--json-lines", "--repeat", "1",
+                                 "--runs-dir", str(tmp_path)]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        windows = [json.loads(line) for line in lines
+                   if line.startswith("{")]
+        assert len(windows) > 1
+        assert all(w["arch"] == "mc-ref" for w in windows)
+        assert [w["index"] for w in windows] == list(range(len(windows)))
+        assert [w["final"] for w in windows[:-1]] == \
+            [False] * (len(windows) - 1)
+        assert windows[-1]["final"] is True
+        assert all(w["end_cycle"] % 1024 == 0 for w in windows[:-1])
+        assert all("ipc" in w and "stall_rate" in w for w in windows)
+        assert lines[-1].startswith(f"mc-ref: {len(windows)} windows")
+
+        record = json.loads(
+            (tmp_path / "manifest.jsonl").read_text().splitlines()[-1])
+        assert record["kind"] == "watch"
+        assert record["schema"] == "repro-manifest/2"
+        assert record["wall_time_s"] > 0
+        telemetry = record["telemetry"]
+        assert telemetry["schema"] == "telemetry/1"
+        assert telemetry["window_cycles"] == 1024
+        assert telemetry["windows"] == len(windows)
+        assert record["extra"]["deadline_misses"] == 0
+
+    def test_dashboard_mode(self, tmp_path, capsys):
+        assert main(self.ARGS + ["--repeat", "2", "--interval", "0",
+                                 "--runs-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "repro watch — mc-ref [fast-forward]" in out
+        assert "lockstep_fraction" in out
+        assert "deadline_misses=0" in out          # streaming footer
+        assert "2 block(s)" in out
+
+    def test_speedup_vs_exact_recorded(self, tmp_path, capsys):
+        assert main(self.ARGS + ["--json-lines", "--repeat", "1",
+                                 "--speedup-vs-exact",
+                                 "--runs-dir", str(tmp_path)]) == 0
+        record = json.loads(
+            (tmp_path / "manifest.jsonl").read_text().splitlines()[-1])
+        assert record["speedup_vs_exact"] > 0
+
+    def test_repeat_must_be_positive(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["watch", "--repeat", "0"])
