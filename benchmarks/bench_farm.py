@@ -1,0 +1,273 @@
+"""Measures the simulation farm's scaling and warm-cache payoff.
+
+Runs one fleet plan through four configurations — 1 worker warm,
+4 workers warm, 4 workers with the submission order shuffled, and
+1 worker cold (caches dropped before every job) — asserts the per-run
+``stats_digest`` values and the fleet digest are bit-identical across
+all four, and reports throughput, parallel speedup and the measured
+shared-cache hit rates.
+
+Two numbers carry the regression gate:
+
+* ``parallel_efficiency`` — the 4-worker speedup divided by the
+  parallelism the machine can actually grant, ``min(4, usable_cpus)``.
+  Raw speedup depends on the host's core count (a 1-CPU CI runner
+  cannot exceed 1x no matter how good the farm is), but efficiency
+  transfers: a healthy farm stays near 1.0 anywhere.  The absolute
+  ``TARGET_SPEEDUP`` (>= 3x at 4 workers) is enforced whenever the
+  host grants >= 4 CPUs.
+* ``warm_hit_rate`` — the fraction of shared-cache lookups (block
+  translations + decode tables) served warm.  Warm workers must beat
+  the cold control arm by a wide, measured margin.
+
+Each run can be recorded as a ``bench_farm/1`` JSON document
+(``--json``); ``--check`` compares efficiency and hit rates against the
+committed baseline in ``benchmarks/baselines/BENCH_farm.json``, failing
+on a >20% regression.  Usable both as a pytest module and a script::
+
+    python benchmarks/bench_farm.py --quick
+    python benchmarks/bench_farm.py --quick \\
+        --json BENCH_farm.json \\
+        --check benchmarks/baselines/BENCH_farm.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import random
+import sys
+import time
+
+_SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:  # direct script invocation
+    sys.path.insert(0, str(_SRC))
+
+from repro.farm import build_plan, run_farm
+from repro.obs import git_revision
+
+#: Record format version for the JSON trajectory documents.
+SCHEMA = "bench_farm/1"
+
+#: Wall-clock speedup 4 warm workers must reach over 1 on hosts that
+#: actually grant >= 4 CPUs.
+TARGET_SPEEDUP = 3.0
+
+#: A checked run fails when a gated metric drops below this fraction of
+#: the committed baseline (>20% regression).
+CHECK_FRACTION = 0.8
+
+#: Metrics the baseline gate applies to.
+CHECK_METRICS = ("parallel_efficiency_4", "warm_hit_rate")
+
+#: Default location of the committed quick-geometry baseline.
+BASELINE_PATH = pathlib.Path(__file__).resolve().parent / "baselines" \
+    / "BENCH_farm.json"
+
+
+def usable_cpus() -> int:
+    """CPUs this process may actually schedule on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
+
+
+def _measure(plan, workers: int, *, warm: bool = True,
+             shuffle_seed: int | None = None) -> dict:
+    ordered = list(plan)
+    if shuffle_seed is not None:
+        random.Random(shuffle_seed).shuffle(ordered)
+    started = time.perf_counter()
+    fleet = run_farm(ordered, workers=workers, warm=warm)
+    wall = time.perf_counter() - started
+    if not fleet.ok:
+        raise AssertionError(
+            f"farm run failed: {len(fleet.failed())} job(s) failed, "
+            f"{len(fleet.cancelled())} cancelled")
+    summary = fleet.fleet_summary()
+    cache = summary["shared_cache"]
+    return {
+        "workers": workers,
+        "warm": warm,
+        "shuffled": shuffle_seed is not None,
+        "wall_s": wall,
+        "runs_per_s": len(fleet.completed()) / wall,
+        "job_cpu_s": summary["job_cpu_s"],
+        "cache_hit_rate": cache["hit_rate"],
+        "cache_lookups": cache["lookups"],
+        "source_compiles": cache["source_compiles"],
+        "fleet_digest": fleet.digest(),
+        "per_run_digests": {
+            result.shard_index: result.stats_digest
+            for result in fleet.completed()},
+    }
+
+
+def run_measurements(runs: int, *, n_samples: int, n_measurements: int,
+                     n_blocks: int) -> dict:
+    plan = build_plan(runs, ["mc-ref", "ulpmc-int", "ulpmc-bank"],
+                      n_samples=n_samples, n_measurements=n_measurements,
+                      n_blocks=n_blocks, window_cycles=4096)
+    serial = _measure(plan, 1)
+    quad = _measure(plan, 4)
+    shuffled = _measure(plan, 4, shuffle_seed=13)
+    cold = _measure(plan, 1, warm=False)
+
+    # the whole point: bit-identity no matter how the fleet is executed
+    for label, other in (("4 workers", quad),
+                         ("4 workers shuffled", shuffled),
+                         ("cold caches", cold)):
+        if other["fleet_digest"] != serial["fleet_digest"]:
+            raise AssertionError(
+                f"{label}: fleet digest diverged from the 1-worker run")
+        if other["per_run_digests"] != serial["per_run_digests"]:
+            raise AssertionError(
+                f"{label}: per-run digests diverged from the 1-worker run")
+
+    cpus = usable_cpus()
+    speedup = serial["wall_s"] / quad["wall_s"]
+    return {
+        "runs": runs,
+        "geometry": f"{n_samples}x{n_measurements}x{n_blocks}",
+        "usable_cpus": cpus,
+        "speedup_4_vs_1": speedup,
+        "parallel_efficiency_4": speedup / min(4, cpus),
+        "warm_hit_rate": serial["cache_hit_rate"],
+        "cold_hit_rate": cold["cache_hit_rate"],
+        "warm_job_cpu_s": serial["job_cpu_s"],
+        "cold_job_cpu_s": cold["job_cpu_s"],
+        "warm_cpu_speedup": cold["job_cpu_s"] / serial["job_cpu_s"],
+        "fleet_digest": serial["fleet_digest"],
+        "modes": {
+            "serial": serial,
+            "quad": quad,
+            "shuffled": shuffled,
+            "cold": cold,
+        },
+    }
+
+
+def make_record(result: dict, quick: bool) -> dict:
+    record = {
+        "schema": SCHEMA,
+        "quick": quick,
+        "git_rev": git_revision(),
+    }
+    record.update({key: value for key, value in result.items()
+                   if key != "modes"})
+    record["modes"] = {
+        label: {key: value for key, value in mode.items()
+                if key != "per_run_digests"}
+        for label, mode in result["modes"].items()}
+    return record
+
+
+def report(result: dict) -> None:
+    print(f"{'mode':<10} {'workers':>7} {'warm':>5} {'wall [s]':>9} "
+          f"{'runs/s':>7} {'hit rate':>8}")
+    for label, mode in result["modes"].items():
+        rate = mode["cache_hit_rate"]
+        print(f"{label:<10} {mode['workers']:>7} "
+              f"{'yes' if mode['warm'] else 'no':>5} "
+              f"{mode['wall_s']:>9.3f} {mode['runs_per_s']:>7.2f} "
+              f"{rate if rate is None else format(rate, '.1%'):>8}")
+    print(f"speedup 4v1 {result['speedup_4_vs_1']:.2f}x on "
+          f"{result['usable_cpus']} usable CPU(s) — parallel efficiency "
+          f"{result['parallel_efficiency_4']:.2f}; warm CPU speedup "
+          f"{result['warm_cpu_speedup']:.2f}x "
+          f"(hit rate {result['warm_hit_rate']:.1%} warm vs "
+          f"{result['cold_hit_rate']:.1%} cold)")
+
+
+def check_against_baseline(record: dict, baseline: dict) -> list[str]:
+    """Efficiency/hit-rate gate: >20% regression per metric fails."""
+    failures = []
+    for metric in CHECK_METRICS:
+        base = baseline.get(metric)
+        if base is None:
+            continue
+        floor = base * CHECK_FRACTION
+        if record[metric] < floor:
+            failures.append(
+                f"{metric} {record[metric]:.3f} is below "
+                f"{CHECK_FRACTION:.0%} of baseline {base:.3f}")
+    return failures
+
+
+def test_farm_scaling_digest_identity():
+    """pytest entry: the quick corpus, full identity + warmth checks."""
+    result = run_measurements(6, n_samples=64, n_measurements=32,
+                              n_blocks=1)
+    assert result["warm_hit_rate"] > result["cold_hit_rate"]
+    if result["usable_cpus"] >= 4:
+        assert result["speedup_4_vs_1"] >= TARGET_SPEEDUP
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="simulation-farm scaling and warm-cache benchmark")
+    parser.add_argument("--quick", action="store_true",
+                        help="small-geometry smoke run (for CI)")
+    parser.add_argument("--runs", type=int, default=None, metavar="N",
+                        help="fleet size (default: 6 quick, 8 full)")
+    parser.add_argument("--json", type=pathlib.Path, metavar="PATH",
+                        help="write the bench_farm/1 record here")
+    parser.add_argument("--check", type=pathlib.Path, metavar="BASELINE",
+                        nargs="?", const=BASELINE_PATH,
+                        help="fail if efficiency or warm hit rate "
+                             "regresses >20%% vs this baseline record "
+                             f"(default {BASELINE_PATH})")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        geometry = dict(n_samples=64, n_measurements=32, n_blocks=1)
+        runs = args.runs if args.runs is not None else 6
+    else:
+        geometry = dict(n_samples=512, n_measurements=256, n_blocks=2)
+        runs = args.runs if args.runs is not None else 8
+    result = run_measurements(runs, **geometry)
+    report(result)
+    record = make_record(result, args.quick)
+
+    if args.json:
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        with args.json.open("w", encoding="utf-8") as handle:
+            json.dump(record, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+
+    status = 0
+    if args.check:
+        with args.check.open(encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        if baseline.get("schema") != SCHEMA:
+            print(f"FAIL: baseline {args.check} has schema "
+                  f"{baseline.get('schema')!r}, expected {SCHEMA!r}",
+                  file=sys.stderr)
+            return 1
+        failures = check_against_baseline(record, baseline)
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        if failures:
+            status = 1
+        else:
+            print(f"OK: farm metrics within {CHECK_FRACTION:.0%} of "
+                  f"baseline {args.check}")
+
+    if result["usable_cpus"] >= 4 \
+            and result["speedup_4_vs_1"] < TARGET_SPEEDUP:
+        print(f"FAIL: 4-worker speedup {result['speedup_4_vs_1']:.2f}x "
+              f"is below the {TARGET_SPEEDUP}x target on "
+              f"{result['usable_cpus']} usable CPUs", file=sys.stderr)
+        return 1
+    print(f"OK: fleet digests bit-identical across 1/4 workers, "
+          f"shuffled order and cold caches "
+          f"({result['fleet_digest'][:16]}...)")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,6 +22,10 @@ Five subcommands, all but ``regress`` writing run-manifest provenance to
   drift (or same-revision nondeterminism) and exit non-zero on any
   finding; the CI regression gate (``--baseline DIR`` compares against
   a downloaded artifact, e.g. main's manifests, at PR time).
+* ``repro farm`` — shard N independent patient runs across a process
+  pool with warm per-worker caches, stream per-run + fleet manifest
+  records, and print a fleet summary table (p50/p99 cycle budgets,
+  deadline-miss rate, cache hit rate).
 """
 
 from __future__ import annotations
@@ -97,8 +101,19 @@ def _arches(name: str) -> list[str]:
 def _block_summary(system):
     """Translation-block statistics of a finished run (None if the
     fast-forward engine never attached)."""
-    engine = getattr(system, "_ff_engine", None)
-    return engine.block_summary() if engine is not None else None
+    return system.block_summary()
+
+
+def _emit_json_line(payload: dict) -> None:
+    """One JSON object per line, flushed immediately.
+
+    Every machine-readable stream (``watch --json-lines``, ``farm
+    --json``) goes through here so piped consumers — including the
+    farm's own progress readers — see each record the moment it closes,
+    not whenever a 4 KiB stdio buffer happens to fill.
+    """
+    sys.stdout.write(json.dumps(payload, sort_keys=True) + "\n")
+    sys.stdout.flush()
 
 
 def _built_benchmark(args):
@@ -396,7 +411,7 @@ def cmd_watch(argv) -> int:
                 payload.update(arch=arch, ipc=summary.ipc,
                                stall_rate=summary.stall_rate,
                                lockstep_fraction=summary.lockstep_fraction)
-                print(json.dumps(payload, sort_keys=True), flush=True)
+                _emit_json_line(payload)
                 return
             now = time.monotonic()
             if now - last_paint[0] < args.interval:
@@ -430,7 +445,8 @@ def cmd_watch(argv) -> int:
         print(f"{arch}: {len(aggregator.windows)} windows over "
               f"{args.repeat} block(s) in {wall:.2f} s, "
               f"{report.deadline_misses} deadline miss(es)"
-              + (f", {speedup:.2f}x vs exact" if speedup else ""))
+              + (f", {speedup:.2f}x vs exact" if speedup else ""),
+              flush=True)
         if not args.no_manifest:
             write_manifest(manifest_record(
                 "watch", series[0].benchmark.name, arch=arch,
@@ -449,6 +465,169 @@ def cmd_watch(argv) -> int:
     return 0
 
 
+def _farm_summary_table(fleet) -> str:
+    """The final fleet summary table (plain text)."""
+    summary = fleet.fleet_summary()
+    cache = summary["shared_cache"]
+    cycles = summary["cycles_per_block"]
+    lines = [
+        f"farm fleet — {summary['completed']}/{summary['runs']} runs ok "
+        f"({summary['failed']} failed, {summary['cancelled']} cancelled, "
+        f"{summary['worker_crashes']} worker crash(es)), "
+        f"{summary['workers']} worker(s), {summary['wall_time_s']:.2f} s "
+        f"wall"
+        + (f", {summary['runs_per_s']:.2f} runs/s"
+           if summary['runs_per_s'] else ""),
+        f"{'arch':<11} {'runs':>5} {'blocks':>7} {'misses':>7} "
+        f"{'p50 cy/blk':>11} {'p99 cy/blk':>11}",
+    ]
+    for arch, row in summary["per_arch"].items():
+        lines.append(
+            f"{arch:<11} {row['runs']:>5} {row['blocks_done']:>7} "
+            f"{row['deadline_misses']:>7} {row['p50_block_cycles']:>11} "
+            f"{row['p99_block_cycles']:>11}")
+    lines.append(
+        f"{'fleet':<11} {summary['completed']:>5} "
+        f"{summary['blocks_done']:>7} {summary['deadline_misses']:>7} "
+        f"{cycles['p50'] if cycles['p50'] is not None else '-':>11} "
+        f"{cycles['p99'] if cycles['p99'] is not None else '-':>11}")
+    if cache["hit_rate"] is not None:
+        lines.append(
+            f"shared caches: {cache['hits']}/{cache['lookups']} lookups "
+            f"warm, {cache['source_compiles']} source compile(s) "
+            f"(hit rate {cache['hit_rate']:.1%})")
+    if summary["deadline_miss_rate"] is not None:
+        lines.append(
+            f"deadline-miss rate: {summary['deadline_miss_rate']:.2%} "
+            f"({summary['deadline_misses']}/{summary['blocks_done']} "
+            f"blocks)")
+    lines.append(f"fleet digest: {fleet.digest()}")
+    return "\n".join(lines)
+
+
+def cmd_farm(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro farm",
+        description="Shard N independent patient runs (seed x arch x "
+                    "window) across a worker pool with warm per-worker "
+                    "caches; streams farm/fleet manifest records and "
+                    "prints a fleet summary.")
+    parser.add_argument("--runs", type=int, default=8, metavar="N",
+                        help="number of independent patient runs "
+                             "(default: 8)")
+    parser.add_argument("--workers", type=int, default=2, metavar="N",
+                        help="worker processes (default: 2)")
+    parser.add_argument("--arch", choices=_ARCH_CHOICES, default="mc-ref",
+                        help="platform(s); 'all' cycles the three "
+                             "architectures across shards "
+                             "(default: mc-ref)")
+    parser.add_argument("--samples", type=int, default=512,
+                        help="ECG block length (paper geometry: 512)")
+    parser.add_argument("--measurements", type=int, default=256,
+                        help="compressed measurements per block")
+    parser.add_argument("--blocks", type=int, default=2, metavar="N",
+                        help="ECG blocks streamed per run (default: 2)")
+    parser.add_argument("--window", type=int, default=8192,
+                        metavar="CYCLES",
+                        help="telemetry window length (default: 8192)")
+    parser.add_argument("--clock-hz", type=float, default=1e6,
+                        help="node clock for deadline budgets "
+                             "(default: 1e6)")
+    parser.add_argument("--seed", type=int, default=None, metavar="BASE",
+                        help="fleet base seed; per-shard seeds derive "
+                             "deterministically from (seed, shard)")
+    parser.add_argument("--retries", type=int, default=1, metavar="N",
+                        help="requeue a crashed/failed job up to N times "
+                             "(default: 1)")
+    parser.add_argument("--exact", action="store_true",
+                        help="cycle-stepped reference mode instead of "
+                             "fast-forward (slow; for cross-checks)")
+    parser.add_argument("--no-blocks", action="store_true",
+                        help="disable the basic-block translation cache")
+    parser.add_argument("--no-warm", action="store_true",
+                        help="cold-cache mode: workers drop every "
+                             "process-level cache before each job "
+                             "(measurement control arm)")
+    parser.add_argument("--fail-fast", action="store_true",
+                        help="cancel the remaining queue after the first "
+                             "terminal job failure")
+    parser.add_argument("--json", action="store_true",
+                        help="emit one JSON line per finished job plus a "
+                             "final fleet line instead of the table")
+    parser.add_argument("--runs-dir", metavar="DIR", default="runs",
+                        help="run-manifest directory (default: runs/)")
+    parser.add_argument("--no-manifest", action="store_true",
+                        help="skip writing the farm/fleet manifests")
+    args = parser.parse_args(argv)
+    if args.runs < 1:
+        parser.error("--runs must be >= 1")
+    if args.workers < 1:
+        parser.error("--workers must be >= 1")
+
+    from repro.farm import build_plan, run_farm
+    from repro.farm.fleet import DEFAULT_BASE_SEED, write_fleet_manifests
+    from repro.farm.jobs import JobState
+
+    base_seed = args.seed if args.seed is not None else DEFAULT_BASE_SEED
+    plan = build_plan(
+        args.runs, _arches(args.arch), base_seed=base_seed,
+        n_samples=args.samples, n_measurements=args.measurements,
+        n_blocks=args.blocks, window_cycles=args.window,
+        clock_hz=args.clock_hz, fast_forward=not args.exact,
+        translation_blocks=not args.no_blocks)
+
+    tty = sys.stdout.isatty()
+
+    def on_job(job, done, total):
+        if args.json:
+            payload = {"type": "job", "job_id": job.job_id,
+                       "shard_index": job.spec.shard_index,
+                       "arch": job.spec.arch, "seed": job.spec.seed,
+                       "state": job.state.value, "attempts": job.attempts,
+                       "done": done, "total": total}
+            if job.result is not None:
+                payload.update(
+                    stats_digest=job.result.stats_digest,
+                    total_cycles=job.result.stats_summary["total_cycles"],
+                    deadline_misses=job.result.deadline_misses,
+                    worker_id=job.result.worker_id,
+                    wall_time_s=job.result.wall_time_s)
+            if job.error is not None:
+                payload["error"] = job.error.strip().splitlines()[-1]
+            _emit_json_line(payload)
+            return
+        line = (f"farm {done}/{total}  shard {job.spec.shard_index:>3} "
+                f"[{job.spec.arch}] {job.state.value}")
+        if tty:
+            print(f"\r\x1b[2K{line}", end="", flush=True)
+        else:
+            print(line, flush=True)
+
+    fleet = run_farm(plan, workers=args.workers, base_seed=base_seed,
+                     max_retries=args.retries, warm=not args.no_warm,
+                     fail_fast=args.fail_fast, on_job=on_job)
+    if tty and not args.json:
+        print()
+
+    if not args.no_manifest:
+        write_fleet_manifests(fleet, directory=args.runs_dir)
+
+    if args.json:
+        _emit_json_line({"type": "fleet", "digest": fleet.digest(),
+                         "summary": fleet.fleet_summary(),
+                         "warm_reports": fleet.warm_reports})
+    else:
+        print(_farm_summary_table(fleet), flush=True)
+        for job in fleet.failed():
+            error = (job.error or "").strip().splitlines()
+            print(f"shard {job.spec.shard_index} FAILED after "
+                  f"{job.attempts} attempt(s): "
+                  f"{error[-1] if error else 'unknown error'}",
+                  file=sys.stderr)
+    return 1 if any(job.state is JobState.FAILED
+                    for job in fleet.jobs) else 0
+
+
 def cmd_regress(argv) -> int:
     parser = argparse.ArgumentParser(
         prog="repro regress",
@@ -465,10 +644,10 @@ def cmd_regress(argv) -> int:
                         default="text", help="report format")
     parser.add_argument("--output", metavar="FILE", default=None,
                         help="also write the report to FILE")
-    parser.add_argument("--kinds", default=",".join(
-                            sorted(("experiment", "trace", "profile"))),
+    from repro.obs.regress import DEFAULT_KINDS
+    parser.add_argument("--kinds", default=",".join(sorted(DEFAULT_KINDS)),
                         help="comma-separated record kinds to compare "
-                             "(default: experiment,profile,trace; "
+                             f"(default: {','.join(sorted(DEFAULT_KINDS))}; "
                              "benchmark timings are never reproducible)")
     parser.add_argument("--min-groups", type=int, default=0,
                         help="fail unless at least this many run "
@@ -495,6 +674,7 @@ _SUBCOMMANDS = {
     "trace": cmd_trace,
     "profile": cmd_profile,
     "watch": cmd_watch,
+    "farm": cmd_farm,
     "regress": cmd_regress,
 }
 

@@ -73,6 +73,7 @@ from repro.obs.regress import (
 from repro.obs.telemetry import (
     WindowedAggregator,
     WindowSummary,
+    merge_window_lists,
     summaries_digest,
 )
 
@@ -96,6 +97,7 @@ __all__ = [
     "config_digest",
     "git_revision",
     "manifest_record",
+    "merge_window_lists",
     "pack_cycle_pc",
     "read_manifests",
     "run_regression",

@@ -46,6 +46,7 @@ import dataclasses
 import enum
 import hashlib
 import json
+import os
 import pathlib
 import subprocess
 import time
@@ -127,20 +128,31 @@ def git_revision(cwd=None) -> str:
 def manifest_record(kind: str, name: str, *, arch=None, config=None,
                     stats=None, payload=None, event_summary=None,
                     wall_time_s=None, speedup_vs_exact=None,
-                    telemetry=None, extra=None) -> dict:
+                    telemetry=None, extra=None, stats_digest_value=None,
+                    stats_summary=None) -> dict:
     """Build one manifest record (schema :data:`SCHEMA`).
 
     ``stats`` (a ``SimulationStats``) contributes both the digest and a
     compact summary; ``payload`` digests arbitrary output (e.g. an
     experiment's CSV) when there is no single stats object.
-    ``telemetry`` takes the dict of
+    ``stats_digest_value``/``stats_summary`` install a digest and
+    summary computed elsewhere (farm workers digest in their own
+    process and ship only the hash home) and are mutually exclusive
+    with ``stats``/``payload``.  ``telemetry`` takes the dict of
     :meth:`~repro.obs.telemetry.WindowedAggregator.telemetry_block`;
     ``speedup_vs_exact`` is the wall-time ratio of an exact-mode
     reference run to this run (``None`` when no reference ran).
     """
     digest = None
     summary = None
-    if stats is not None:
+    if stats_digest_value is not None:
+        if stats is not None or payload is not None:
+            raise ValueError(
+                "pass either a precomputed stats_digest_value or "
+                "stats/payload to digest here, not both")
+        digest = stats_digest_value
+        summary = stats_summary
+    elif stats is not None:
         digest = stats_digest(stats)
         summary = {
             "total_cycles": stats.total_cycles,
@@ -174,14 +186,27 @@ def manifest_record(kind: str, name: str, *, arch=None, config=None,
 
 
 def write_manifest(record: dict, directory=None) -> pathlib.Path:
-    """Append ``record`` as one JSONL line; returns the manifest path."""
+    """Append ``record`` as one JSONL line; returns the manifest path.
+
+    The append is concurrency-safe: the whole line (payload plus
+    newline) goes through a single :func:`os.write` on a descriptor
+    opened with ``O_APPEND``, so simultaneous writers — parallel farm
+    invocations, a benchmark racing a watch session — interleave at
+    line granularity only, never inside a record.  A buffered
+    ``open("a")`` could split one line across several syscalls and
+    corrupt the trail (``tests/obs/test_manifest.py`` hammers this from
+    multiple processes).
+    """
     directory = pathlib.Path(directory if directory is not None
                              else DEFAULT_DIRECTORY)
     directory.mkdir(parents=True, exist_ok=True)
     path = directory / MANIFEST_NAME
-    with path.open("a", encoding="utf-8") as stream:
-        stream.write(json.dumps(_canonical(record), sort_keys=True))
-        stream.write("\n")
+    line = json.dumps(_canonical(record), sort_keys=True) + "\n"
+    fd = os.open(path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
+    try:
+        os.write(fd, line.encode("utf-8"))
+    finally:
+        os.close(fd)
     return path
 
 

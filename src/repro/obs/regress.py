@@ -41,7 +41,10 @@ from repro.obs.manifest import (DEFAULT_DIRECTORY, MANIFEST_NAME,
 
 #: Record kinds whose digests are expected to be reproducible.
 #: ``benchmark`` records digest timing payloads and are excluded.
-DEFAULT_KINDS = ("experiment", "trace", "profile")
+#: ``farm`` (one record per fleet shard) and ``fleet`` (the merged
+#: farm record) digest simulated outputs only, so they gate like any
+#: other run.
+DEFAULT_KINDS = ("experiment", "trace", "profile", "farm", "fleet")
 
 #: ``stats_summary`` fields shown with before/after values when a group
 #: drifts, in display order.

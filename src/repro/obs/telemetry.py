@@ -158,6 +158,25 @@ class WindowSummary:
         return out
 
     @classmethod
+    def from_dict(cls, payload: dict) -> "WindowSummary":
+        """Rebuild a summary from :meth:`to_dict` output.
+
+        The farm ships window lists across process boundaries as plain
+        dicts (JSON/pickle-safe); this is the inverse, with the digest
+        contract preserved: ``from_dict(w.to_dict()).to_dict() ==
+        w.to_dict()`` bit-for-bit.
+        """
+        try:
+            kwargs = {f.name: payload[f.name] for f in fields(cls)}
+        except KeyError as exc:
+            raise ConfigurationError(
+                f"window-summary dict is missing field {exc.args[0]!r}") \
+                from None
+        kwargs["core_retired"] = tuple(kwargs["core_retired"])
+        kwargs["core_stalls"] = tuple(kwargs["core_stalls"])
+        return cls(**kwargs)
+
+    @classmethod
     def combine(cls, summaries) -> "WindowSummary":
         """Merge same-index windows from several shards into one.
 
@@ -188,6 +207,28 @@ class WindowSummary:
             core_retired=tuple(core_retired),
             core_stalls=tuple(core_stalls),
             **merged)
+
+
+def merge_window_lists(*shards) -> list[WindowSummary]:
+    """Fleet view over plain window lists (one per shard).
+
+    Windows are aligned by index and combined via
+    :meth:`WindowSummary.combine`; shards with fewer windows simply
+    stop contributing after their last one (a short patient run ends,
+    the rest of the fleet keeps going), and empty shards are no-ops.
+    The operation is associative — merging merges gives the same
+    windows as one flat merge — which lets the farm fold results in
+    completion order.  Accepts :class:`WindowSummary` objects or their
+    :meth:`~WindowSummary.to_dict` dumps.
+    """
+    by_index: dict[int, list] = {}
+    for windows in shards:
+        for window in windows:
+            if isinstance(window, dict):
+                window = WindowSummary.from_dict(window)
+            by_index.setdefault(window.index, []).append(window)
+    return [WindowSummary.combine(by_index[index])
+            for index in sorted(by_index)]
 
 
 def summaries_digest(summaries) -> str:
@@ -437,19 +478,15 @@ class WindowedAggregator:
 
         Accepts aggregators or plain window lists.  Windows are aligned
         by index (farm shards running the same workload close windows at
-        the same boundaries); see :meth:`WindowSummary.combine`.
+        the same boundaries); see :meth:`WindowSummary.combine` and
+        :func:`merge_window_lists`.
         """
         groups = [self.windows]
         for other in others:
             groups.append(other.windows
                           if isinstance(other, WindowedAggregator)
                           else list(other))
-        by_index: dict[int, list] = {}
-        for windows in groups:
-            for window in windows:
-                by_index.setdefault(window.index, []).append(window)
-        return [WindowSummary.combine(by_index[index])
-                for index in sorted(by_index)]
+        return merge_window_lists(*groups)
 
     def fleet_summary(self, recent: int = 16) -> dict:
         """Rolling fleet digest: totals plus last/mean/p50/p99 of the

@@ -25,6 +25,10 @@ from repro.platform.multicore import (
     MulticoreSimulator,
     SimulationResult,
     build_platform,
+    program_artifacts,
+    program_cache_clear,
+    program_cache_size,
+    program_cache_stats,
     set_default_fast_forward,
     set_default_translation_blocks,
 )
@@ -52,6 +56,10 @@ __all__ = [
     "MulticoreSimulator",
     "SimulationResult",
     "build_platform",
+    "program_artifacts",
+    "program_cache_clear",
+    "program_cache_size",
+    "program_cache_stats",
     "set_default_fast_forward",
     "set_default_translation_blocks",
     "SimulationStats",

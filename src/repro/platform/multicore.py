@@ -38,6 +38,70 @@ from repro.tamarisc.cpu import Core
 from repro.tamarisc.dispatch import compile_program
 from repro.tamarisc.program import DataImage, Program
 
+
+class _ProgramArtifacts:
+    """Decode/dispatch products of one program image.
+
+    Keyed by content hash in :data:`_PROGRAM_CACHE`: code is immutable,
+    so the decoded instruction list and the compiled dispatch table can
+    be shared across systems, repeated loads (a streamed run re-loads
+    the same program every block) and farm jobs inside one worker
+    process.  Both are read-only after construction; the dispatch table
+    is built lazily so exact-mode loads never pay for it.
+    """
+
+    __slots__ = ("decoded", "_compiled")
+
+    def __init__(self, decoded):
+        self.decoded = decoded
+        self._compiled = None
+
+    def compiled(self):
+        if self._compiled is None:
+            self._compiled = compile_program(self.decoded)
+        return self._compiled
+
+
+#: Process-level program cache: ``image_hash -> _ProgramArtifacts``.
+_PROGRAM_CACHE: dict[str, _ProgramArtifacts] = {}
+
+#: Decode-cache traffic (same contract as
+#: :func:`repro.tamarisc.blocks.cache_stats`: process-level, purely
+#: diagnostic, never feeds a digest).
+_PROGRAM_CACHE_STATS = {"program_hits": 0, "program_misses": 0}
+
+
+def program_artifacts(program: Program) -> tuple[str, _ProgramArtifacts]:
+    """The cached decode/dispatch artifacts for ``program``.
+
+    Returns ``(image_hash, artifacts)``.  Farm workers call this to
+    warm the decode table once per process; :meth:`MultiCoreSystem.load`
+    goes through it on every load.
+    """
+    img = image_hash(program.words)
+    artifacts = _PROGRAM_CACHE.get(img)
+    if artifacts is None:
+        artifacts = _ProgramArtifacts(program.decoded())
+        _PROGRAM_CACHE[img] = artifacts
+        _PROGRAM_CACHE_STATS["program_misses"] += 1
+    else:
+        _PROGRAM_CACHE_STATS["program_hits"] += 1
+    return img, artifacts
+
+
+def program_cache_clear() -> None:
+    """Drop the decode/dispatch cache (tests, cold-cache measurements)."""
+    _PROGRAM_CACHE.clear()
+
+
+def program_cache_size() -> int:
+    return len(_PROGRAM_CACHE)
+
+
+def program_cache_stats() -> dict:
+    """Snapshot of the decode-cache traffic counters."""
+    return dict(_PROGRAM_CACHE_STATS)
+
 #: Instruction words are 24-bit.
 _INSTR_MASK = 0xFFFFFF
 
@@ -203,7 +267,8 @@ class MultiCoreSystem:
                 bank, offset = self.dm_layout.translate(core, logical)
                 self.dmem.load(bank, offset, [value])
 
-        self.decoded = program.decoded()
+        img_hash, artifacts = program_artifacts(program)
+        self.decoded = artifacts.decoded
         for core in self.cores:
             core.reset(entry=program.entry)
         # A load starts a fresh measurement window (streaming runs load
@@ -220,9 +285,9 @@ class MultiCoreSystem:
         self._dwrites_committed = 0
         if self.fast_forward:
             self._ff_engine = FastForwardEngine(
-                self, compile_program(self.decoded),
+                self, artifacts.compiled(),
                 decoded=self.decoded,
-                img_hash=image_hash(program.words),
+                img_hash=img_hash,
                 translation_blocks=self.translation_blocks,
                 loop_traces=self.loop_traces)
         else:
@@ -238,6 +303,12 @@ class MultiCoreSystem:
 
     def read_logical_block(self, core: int, base: int, count: int) -> list[int]:
         return [self.read_logical(core, base + i) for i in range(count)]
+
+    def block_summary(self):
+        """Translation-block statistics of the last run (``None`` when
+        the fast-forward engine never attached)."""
+        engine = self._ff_engine
+        return engine.block_summary() if engine is not None else None
 
     # -- simulation --------------------------------------------------------------------
 

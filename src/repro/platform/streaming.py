@@ -26,10 +26,17 @@ SAMPLE_RATE_HZ = 250.0
 
 @dataclass
 class BlockOutcome:
-    """One block's simulation outcome."""
+    """One block's simulation outcome.
+
+    ``block_summary`` is the fast-forward engine's translation-cache
+    summary for this block (``None`` in exact mode); each block gets a
+    fresh engine, so whole-stream cache totals are the sum over blocks
+    (the farm's warm-cache accounting relies on this).
+    """
 
     index: int
     stats: SimulationStats
+    block_summary: dict | None = None
 
 
 @dataclass
@@ -146,7 +153,9 @@ def run_stream(arch: str, series,
     for index, built in enumerate(series):
         result = system.run(built.benchmark)
         verify_result(built, result)
-        report.blocks.append(BlockOutcome(index=index, stats=result.stats))
+        report.blocks.append(BlockOutcome(
+            index=index, stats=result.stats,
+            block_summary=system.block_summary()))
         if bus is not None and bus.wants("block.done"):
             bus.emit("block.done", index, result.stats)
     return report

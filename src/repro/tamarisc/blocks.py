@@ -179,15 +179,24 @@ def discover_block(decoded, pc: int) -> "Block":
 #: image share blocks (the engine re-specialises per memory geometry).
 _CACHE: dict[tuple[int, str], "Block"] = {}
 
+#: Process-level cache traffic counters.  Unlike the *per-engine*
+#: ``blocks_compiled`` (deliberately cache-independent so metric
+#: registries stay bit-identical run to run), these measure the real
+#: hit/miss behaviour of the shared caches — the farm's warm-vs-cold
+#: accounting snapshots them around each job.
+_CACHE_STATS = {"block_hits": 0, "block_misses": 0, "source_compiles": 0}
+
 
 def get_block(pc: int, img_hash: str, decoded) -> tuple["Block", bool]:
     """The cached block at ``(pc, img_hash)``; ``(block, compiled_now)``."""
     key = (pc, img_hash)
     block = _CACHE.get(key)
     if block is not None:
+        _CACHE_STATS["block_hits"] += 1
         return block, False
     block = discover_block(decoded, pc)
     _CACHE[key] = block
+    _CACHE_STATS["block_misses"] += 1
     return block, True
 
 
@@ -202,6 +211,7 @@ def _compile_cached(src: str, filename: str):
     if code is None:
         code = compile(src, filename, "exec")
         _CODE_CACHE[src] = code
+        _CACHE_STATS["source_compiles"] += 1
     return code
 
 
@@ -213,6 +223,11 @@ def cache_clear() -> None:
 
 def cache_size() -> int:
     return len(_CACHE)
+
+
+def cache_stats() -> dict:
+    """Snapshot of the process-level cache traffic counters."""
+    return dict(_CACHE_STATS)
 
 
 class Block:

@@ -139,3 +139,63 @@ class TestJsonl:
         again = build_platform("ulpmc-bank", fast_forward=True) \
             .run(built.benchmark)
         assert stats_digest(again.stats) == stats_digest(result.stats)
+
+
+class TestPrecomputedDigests:
+    def test_digest_value_carried_verbatim(self):
+        record = manifest_record("farm", "shard", arch="mc-ref",
+                                 stats_digest_value="abc123",
+                                 stats_summary={"total_cycles": 7})
+        assert record["stats_digest"] == "abc123"
+        assert record["stats_summary"] == {"total_cycles": 7}
+
+    def test_digest_value_excludes_stats_and_payload(self, run):
+        system, result = run
+        with pytest.raises(ValueError):
+            manifest_record("farm", "shard", stats=result.stats,
+                            stats_digest_value="abc123")
+        with pytest.raises(ValueError):
+            manifest_record("farm", "shard", payload="x",
+                            stats_digest_value="abc123")
+
+
+def _hammer(directory, writer: int, count: int, barrier) -> None:
+    barrier.wait()
+    for sequence in range(count):
+        write_manifest(manifest_record(
+            "farm", f"writer{writer}-rec{sequence}",
+            payload={"writer": writer, "sequence": sequence}),
+            directory=directory)
+
+
+class TestConcurrentAppends:
+    def test_parallel_writers_never_interleave_lines(self, tmp_path):
+        """N processes hammering one manifest must yield N*COUNT whole
+        lines — the single-``os.write`` append contract the farm's
+        result writer relies on."""
+        import json as json_module
+        import multiprocessing
+
+        writers, count = 4, 25
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in multiprocessing.get_all_start_methods()
+            else "spawn")
+        barrier = ctx.Barrier(writers)
+        processes = [ctx.Process(target=_hammer,
+                                 args=(tmp_path, writer, count, barrier))
+                     for writer in range(writers)]
+        for process in processes:
+            process.start()
+        for process in processes:
+            process.join(60)
+            assert process.exitcode == 0
+        lines = (tmp_path / "manifest.jsonl").read_text() \
+            .splitlines()
+        assert len(lines) == writers * count
+        seen = set()
+        for line in lines:
+            record = json_module.loads(line)  # every line parses whole
+            seen.add(record["name"])
+        assert seen == {f"writer{w}-rec{s}"
+                        for w in range(writers) for s in range(count)}
+        assert len(read_manifests(directory=tmp_path)) == writers * count

@@ -21,7 +21,8 @@ import pytest
 from repro.errors import ConfigurationError
 from repro.kernels import BenchmarkSpec, build_benchmark
 from repro.obs import ProbeMetrics, WindowedAggregator, summaries_digest
-from repro.obs.telemetry import COUNTER_FIELDS, WindowSummary, percentile
+from repro.obs.telemetry import COUNTER_FIELDS, WindowSummary, \
+    merge_window_lists, percentile
 from repro.platform import build_platform
 
 WINDOW = 1024
@@ -156,6 +157,59 @@ class TestMerge:
             WindowSummary.combine(aggregator.windows[:2])
         with pytest.raises(ConfigurationError):
             WindowSummary.combine([])
+
+
+class TestMergeAlgebra:
+    """Shapes the farm relies on when folding shard window streams."""
+
+    @pytest.fixture(scope="class")
+    def windows(self, built):
+        aggregator, _ = _run(built, "ulpmc-int", fast_forward=True)
+        return list(aggregator.windows)
+
+    def test_single_shard_is_a_no_op(self, windows):
+        merged = merge_window_lists(windows)
+        assert summaries_digest(merged) == summaries_digest(windows)
+
+    def test_empty_shard_is_a_no_op(self, windows):
+        merged = merge_window_lists(windows, [])
+        assert summaries_digest(merged) == summaries_digest(windows)
+        assert merge_window_lists() == []
+
+    def test_unequal_shard_window_counts(self, windows):
+        assert len(windows) > 2, "need a truncatable stream"
+        short = windows[:2]
+        merged = merge_window_lists(windows, short)
+        assert len(merged) == len(windows)
+        for fleet, shard in zip(merged[:2], windows[:2]):
+            assert fleet.retired == 2 * shard.retired
+        # beyond the short shard's horizon the long shard passes through
+        assert summaries_digest(merged[2:]) \
+            == summaries_digest(windows[2:])
+
+    def test_merge_of_merges_is_associative(self, windows):
+        a, b, c = windows, windows, windows
+        left = merge_window_lists(merge_window_lists(a, b), c)
+        right = merge_window_lists(a, merge_window_lists(b, c))
+        flat = merge_window_lists(a, b, c)
+        assert summaries_digest(left) == summaries_digest(right) \
+            == summaries_digest(flat)
+
+    def test_dict_round_trip_preserves_digest(self, windows):
+        payloads = [window.to_dict() for window in windows]
+        rebuilt = [WindowSummary.from_dict(payload)
+                   for payload in payloads]
+        assert [w.to_dict() for w in rebuilt] == payloads
+        assert summaries_digest(rebuilt) == summaries_digest(windows)
+        # merge accepts the dict transport form directly
+        assert summaries_digest(merge_window_lists(payloads)) \
+            == summaries_digest(windows)
+
+    def test_dict_missing_field_rejected(self, windows):
+        payload = windows[0].to_dict()
+        payload.pop("retired")
+        with pytest.raises(ConfigurationError, match="retired"):
+            WindowSummary.from_dict(payload)
 
 
 class TestStreaming:

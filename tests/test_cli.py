@@ -159,3 +159,102 @@ class TestWatch:
     def test_repeat_must_be_positive(self, capsys):
         with pytest.raises(SystemExit):
             main(["watch", "--repeat", "0"])
+
+    def test_json_lines_flushed_after_every_line(self, monkeypatch,
+                                                 tmp_path):
+        """A downstream consumer reading the pipe must see each JSON
+        line as soon as it is produced, not when the process exits."""
+        import sys
+
+        recorder = _RecordingStdout()
+        monkeypatch.setattr(sys, "stdout", recorder)
+        assert main(self.ARGS + ["--json-lines", "--repeat", "1",
+                                 "--runs-dir", str(tmp_path)]) == 0
+        unflushed_line = False
+        for kind, text in recorder.events:
+            if kind == "flush":
+                unflushed_line = False
+            elif "\n" in text:
+                assert not unflushed_line, \
+                    "a line was emitted before the previous one flushed"
+                unflushed_line = True
+        assert not unflushed_line, "final line never flushed"
+        emitted = "".join(text for kind, text in recorder.events
+                          if kind == "write")
+        assert sum(1 for line in emitted.splitlines()
+                   if line.startswith("{")) > 1
+
+
+class _RecordingStdout:
+    """Stdout stand-in that records the write/flush interleaving."""
+
+    def __init__(self):
+        self.events = []
+
+    def write(self, text):
+        self.events.append(("write", text))
+        return len(text)
+
+    def flush(self):
+        self.events.append(("flush", ""))
+
+    def isatty(self):
+        return False
+
+
+class TestFarm:
+    ARGS = ["farm", "--runs", "3", "--workers", "2", "--samples", "64",
+            "--measurements", "32", "--blocks", "1", "--window", "4096",
+            "--arch", "all"]
+
+    def test_json_stream_and_manifest(self, tmp_path, capsys):
+        assert main(self.ARGS + ["--json",
+                                 "--runs-dir", str(tmp_path)]) == 0
+        lines = [json.loads(line) for line in
+                 capsys.readouterr().out.splitlines()
+                 if line.startswith("{")]
+        jobs = [line for line in lines if line["type"] == "job"]
+        fleets = [line for line in lines if line["type"] == "fleet"]
+        assert len(jobs) == 3 and len(fleets) == 1
+        assert all(job["state"] == "done" for job in jobs)
+        assert sorted(job["shard_index"] for job in jobs) == [0, 1, 2]
+        assert [job["done"] for job in jobs] == [1, 2, 3]
+        summary = fleets[0]["summary"]
+        assert summary["completed"] == 3 and summary["failed"] == 0
+
+        records = [json.loads(line) for line in
+                   (tmp_path / "manifest.jsonl").read_text().splitlines()]
+        farm_records = [r for r in records if r["kind"] == "farm"]
+        fleet_records = [r for r in records if r["kind"] == "fleet"]
+        assert len(farm_records) == 3 and len(fleet_records) == 1
+        assert fleet_records[0]["stats_digest"] == fleets[0]["digest"]
+        assert fleet_records[0]["schema"] == "repro-manifest/2"
+        assert {r["arch"] for r in farm_records} \
+            == {"mc-ref", "ulpmc-int", "ulpmc-bank"}
+
+    def test_table_mode(self, tmp_path, capsys):
+        assert main(self.ARGS + ["--runs-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "farm fleet — 3/3 runs ok" in out
+        assert "fleet digest: " in out
+        assert "per-arch" not in out  # table uses rows, not the raw dict
+
+    def test_digest_independent_of_worker_count(self, tmp_path, capsys):
+        digests = []
+        for workers in ("1", "2"):
+            args = list(self.ARGS)
+            args[args.index("--workers") + 1] = workers
+            assert main(args + ["--runs", "2", "--json",
+                                "--no-manifest"]) == 0
+            lines = [json.loads(line) for line in
+                     capsys.readouterr().out.splitlines()
+                     if line.startswith("{")]
+            digests.append(next(line["digest"] for line in lines
+                                if line["type"] == "fleet"))
+        assert digests[0] == digests[1]
+
+    def test_degenerate_geometry_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["farm", "--runs", "0"])
+        with pytest.raises(SystemExit):
+            main(["farm", "--workers", "0"])
