@@ -26,6 +26,11 @@ Five subcommands, all but ``regress`` writing run-manifest provenance to
   pool with warm per-worker caches, stream per-run + fleet manifest
   records, and print a fleet summary table (p50/p99 cycle budgets,
   deadline-miss rate, cache hit rate).
+* ``repro dse`` — sweep the design space (arch x cores x IM/DM banks x
+  LUT mapping x tech node x supply voltage), rank every point with the
+  calibrated analytical model, escalate only the Pareto front to
+  cycle-accurate simulation on the farm, and write the front artifact
+  plus a ``dse`` manifest record with cache counters and fidelity.
 """
 
 from __future__ import annotations
@@ -628,6 +633,181 @@ def cmd_farm(argv) -> int:
                     for job in fleet.jobs) else 0
 
 
+def _csv_values(parser, option: str, text: str, convert):
+    try:
+        return tuple(convert(item.strip()) for item in text.split(",")
+                     if item.strip())
+    except ValueError:
+        parser.error(f"{option} expects a comma-separated list, "
+                     f"got {text!r}")
+
+
+def cmd_dse(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro dse",
+        description="Sweep the design space (arch x cores x IM/DM banks "
+                    "x LUT mapping x tech node x supply), rank every "
+                    "point with the calibrated analytical model, "
+                    "escalate the Pareto front to cycle-accurate "
+                    "simulation, and write the front artifact plus a "
+                    "dse manifest record.")
+    parser.add_argument("--arch", choices=_ARCH_CHOICES, default="all",
+                        help="architecture families to sweep "
+                             "(default: all three)")
+    parser.add_argument("--cores", default="1,2,4,8", metavar="LIST",
+                        help="core counts (default: 1,2,4,8)")
+    parser.add_argument("--im-banks", default="4,8,16", metavar="LIST",
+                        help="IM bank counts for the shared-IM designs "
+                             "(default: 4,8,16; mc-ref is pinned to one "
+                             "bank per core)")
+    parser.add_argument("--dm-banks", default="8,16,32", metavar="LIST",
+                        help="DM bank counts (default: 8,16,32)")
+    parser.add_argument("--mappings", default="private-lut,shared-lut",
+                        metavar="LIST",
+                        help="Huffman-LUT mappings (default: both)")
+    parser.add_argument("--nodes", default="90", metavar="LIST",
+                        help="technology nodes in nm (default: 90; "
+                             "65/45/32 scale by the ITRS-style tables "
+                             "and dominate the 90 nm points)")
+    parser.add_argument("--voltages", default="1.2,1.0,0.8,0.65,0.5",
+                        metavar="LIST",
+                        help="supply voltages (default: five DVFS "
+                             "points from nominal to threshold)")
+    parser.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="farm workers for escalation (default: 1)")
+    parser.add_argument("--no-escalate", action="store_true",
+                        help="analytical ranking only; skip the "
+                             "cycle-accurate escalation")
+    parser.add_argument("--escalate-all", action="store_true",
+                        help="escalate every structural family, not "
+                             "just the front (fidelity measurements)")
+    parser.add_argument("--max-escalations", type=int, default=None,
+                        metavar="N",
+                        help="escalation budget (default: 15%% of the "
+                             "sweep)")
+    parser.add_argument("--exact", action="store_true",
+                        help="cycle-stepped simulations instead of "
+                             "fast-forward (slow; for cross-checks)")
+    parser.add_argument("--no-blocks", action="store_true",
+                        help="disable the basic-block translation cache")
+    parser.add_argument("--cache-dir", metavar="DIR", default=None,
+                        help="sweep-point cache directory "
+                             "(default: RUNS_DIR/dse)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="evaluate every point from scratch and "
+                             "persist nothing")
+    parser.add_argument("--front-out", metavar="FILE", default=None,
+                        help="Pareto-front artifact path "
+                             "(default: RUNS_DIR/dse/pareto_front.json)")
+    parser.add_argument("--top", type=int, default=10, metavar="N",
+                        help="front rows to print (default: 10)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit one JSON line per front point plus a "
+                             "final summary line")
+    parser.add_argument("--runs-dir", metavar="DIR", default="runs",
+                        help="run-manifest directory (default: runs/)")
+    parser.add_argument("--no-manifest", action="store_true",
+                        help="skip writing the dse manifest record")
+    args = parser.parse_args(argv)
+    if args.workers < 1:
+        parser.error("--workers must be >= 1")
+
+    cores = _csv_values(parser, "--cores", args.cores, int)
+    im_banks = _csv_values(parser, "--im-banks", args.im_banks, int)
+    dm_banks = _csv_values(parser, "--dm-banks", args.dm_banks, int)
+    mappings = _csv_values(parser, "--mappings", args.mappings, str)
+    nodes = _csv_values(parser, "--nodes", args.nodes, int)
+    voltages = _csv_values(parser, "--voltages", args.voltages, float)
+
+    from repro.dse import build_space, run_dse, dse_manifest_record, \
+        write_artifact
+    from repro.obs.manifest import write_manifest
+    from repro.platform import set_default_fast_forward
+    if not args.exact:
+        # The anchor simulations behind the analytical model are
+        # bit-identical in fast-forward mode and several times faster.
+        set_default_fast_forward(True)
+
+    points, rejected = build_space(
+        arches=tuple(_arches(args.arch)), cores=cores, im_banks=im_banks,
+        dm_banks=dm_banks, mappings=mappings, nodes=nodes,
+        voltages=voltages)
+    if not points:
+        parser.error("the requested axes produced no feasible design "
+                     "points")
+
+    def log(message):
+        if not args.json:
+            print(message, flush=True)
+
+    if rejected:
+        log(f"{len(rejected)} infeasible axis combinations rejected "
+            f"(e.g. {rejected[0]['reason']})")
+
+    cache_dir = None if args.no_cache else (
+        args.cache_dir if args.cache_dir is not None
+        else pathlib.Path(args.runs_dir) / "dse")
+    result = run_dse(
+        points, cache_dir=cache_dir, escalate=not args.no_escalate,
+        escalate_policy="all" if args.escalate_all else "front",
+        max_escalations=args.max_escalations, workers=args.workers,
+        fast_forward=not args.exact,
+        translation_blocks=not args.no_blocks, log=log)
+
+    front_out = args.front_out if args.front_out is not None \
+        else pathlib.Path(args.runs_dir) / "dse" / "pareto_front.json"
+    write_artifact(result, front_out)
+    if not args.no_manifest:
+        write_manifest(dse_manifest_record(result),
+                       directory=args.runs_dir)
+
+    if args.json:
+        for record in result.front:
+            _emit_json_line({"type": "front", "point": record["point"],
+                             "metrics": record["metrics"],
+                             "cached": record["cached"]})
+        _emit_json_line({"type": "dse", "digest": result.digest(),
+                         "counters": result.counters,
+                         "fidelity": result.fidelity,
+                         "front_out": str(front_out)})
+        return 0
+
+    top = result.front[:max(args.top, 0)]
+    print(f"\nPareto front ({len(result.front)} of "
+          f"{len(result.records)} points; showing {len(top)}):")
+    print(f"{'architecture':<28} {'node':>5} {'V':>5} {'nJ/sample':>10} "
+          f"{'MOps/s':>8} {'mm^2':>6} {'sim':>4}")
+    for record in top:
+        point = record["point"]
+        metrics = record["metrics"]
+        label = (f"{point['arch']}/c{point['n_cores']}"
+                 f"/im{point['im_banks']}/dm{point['dm_banks']}"
+                 f"/{point['mapping'].removesuffix('-lut')}")
+        escalated = record["structural_hash"] in result.escalations
+        print(f"{label:<28} {point['tech_nm']:>4}n {point['voltage']:>5.2f} "
+              f"{metrics['energy_per_sample_nj']:>10.2f} "
+              f"{metrics['throughput_mops']:>8.1f} "
+              f"{metrics['area_mm2']:>6.2f} "
+              f"{'yes' if escalated else '-':>4}")
+    counters = result.counters
+    print(f"\nevaluated {counters['analytical_evaluated']} points "
+          f"({counters['analytical_cache_hits']} cached), escalated "
+          f"{counters['escalations_run']} "
+          f"(+{counters['escalation_cache_hits']} cached) of "
+          f"{counters['front_families']} frontier families "
+          f"(budget {counters['escalation_budget']})")
+    fidelity = result.fidelity
+    if fidelity["escalated_families"]:
+        rank = fidelity["rank_correlation"]
+        print(f"fidelity over {fidelity['escalated_families']} "
+              f"escalated families: cycle accuracy "
+              f"{fidelity['cycle_accuracy']:.1%}, energy-rank "
+              f"correlation "
+              f"{'n/a' if rank is None else format(rank, '.3f')}")
+    print(f"front artifact: {front_out}")
+    return 0
+
+
 def cmd_regress(argv) -> int:
     parser = argparse.ArgumentParser(
         prog="repro regress",
@@ -675,6 +855,7 @@ _SUBCOMMANDS = {
     "profile": cmd_profile,
     "watch": cmd_watch,
     "farm": cmd_farm,
+    "dse": cmd_dse,
     "regress": cmd_regress,
 }
 

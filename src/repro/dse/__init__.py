@@ -1,0 +1,33 @@
+"""Design-space exploration: analytical ranking, Pareto fronts,
+escalation of frontier candidates to cycle-accurate simulation."""
+
+from repro.dse.cache import SweepCache, canonical_hash
+from repro.dse.driver import (DseResult, dse_manifest_record,
+                              rank_correlation, run_dse, sweep_identity,
+                              write_artifact)
+from repro.dse.model import MODEL_VERSION, AnalyticalModel, objectives
+from repro.dse.pareto import dominates, merge_fronts, pareto_front
+from repro.dse.space import (DEFAULT_VOLTAGES, DesignPoint, build_space,
+                             make_point, seed_points)
+
+__all__ = [
+    "AnalyticalModel",
+    "DEFAULT_VOLTAGES",
+    "DesignPoint",
+    "DseResult",
+    "MODEL_VERSION",
+    "SweepCache",
+    "build_space",
+    "canonical_hash",
+    "dominates",
+    "dse_manifest_record",
+    "make_point",
+    "merge_fronts",
+    "objectives",
+    "pareto_front",
+    "rank_correlation",
+    "run_dse",
+    "seed_points",
+    "sweep_identity",
+    "write_artifact",
+]

@@ -1,0 +1,113 @@
+"""Deterministic sweep-point cache: hash the config, skip the rerun.
+
+Every sweep point is keyed by a sha256 over the *canonical* JSON of its
+identity — sorted dict keys, deterministic set ordering, no floats ever
+re-derived — via the same :func:`repro.obs.manifest._canonical` pipeline
+the run manifests use.  The hash is therefore stable across process
+restarts, ``PYTHONHASHSEED`` values and dict construction orders
+(``tests/dse/test_cache_determinism.py`` asserts this across two
+interpreter invocations), which is what makes "a cached rerun
+re-evaluates zero points" a checkable guarantee instead of a hope.
+
+Storage is an append-only JSONL file (one ``{"key", "record"}`` object
+per line) written with the same single-``os.write``/``O_APPEND``
+discipline as the manifests, so concurrent sweeps sharing a cache
+directory interleave at line granularity.  Loads are tolerant: corrupt
+lines are dropped (the entry is simply recomputed), and a duplicated
+key keeps the newest record.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+
+from repro.obs.manifest import _canonical, _digest
+
+#: Bump when the cache line format changes.
+CACHE_SCHEMA = "repro-dse-cache/1"
+
+CACHE_NAME = "cache.jsonl"
+
+
+def canonical_hash(payload) -> str:
+    """Deterministic sha256 over the canonical JSON of ``payload``."""
+    return _digest(payload)
+
+
+def point_key(model_version: str, point_payload: dict) -> str:
+    """Cache key of one analytical evaluation."""
+    return canonical_hash({"kind": "analytical", "model": model_version,
+                           "point": point_payload})
+
+
+def simulation_key(sim_version: str, structural_payload: dict) -> str:
+    """Cache key of one escalated cycle-accurate simulation."""
+    return canonical_hash({"kind": "sim", "model": sim_version,
+                           "structure": structural_payload})
+
+
+class SweepCache:
+    """JSONL-backed key/record store with hit/miss accounting.
+
+    ``directory=None`` disables persistence but keeps the counters, so
+    the driver's bookkeeping is uniform.
+    """
+
+    def __init__(self, directory=None):
+        self.path = None if directory is None \
+            else pathlib.Path(directory) / CACHE_NAME
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+        self._entries: dict[str, dict] = {}
+        if self.path is not None and self.path.is_file():
+            for line in self.path.read_text(
+                    encoding="utf-8").splitlines():
+                if not line.strip():
+                    continue
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if not isinstance(entry, dict) \
+                        or entry.get("schema") != CACHE_SCHEMA:
+                    continue
+                key = entry.get("key")
+                if isinstance(key, str) and "record" in entry:
+                    self._entries[key] = entry["record"]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: str):
+        """The cached record for ``key``, counting the hit or miss."""
+        record = self._entries.get(key)
+        if record is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return record
+
+    def put(self, key: str, record) -> None:
+        """Install and (when persistent) append one cache entry."""
+        record = _canonical(record)
+        self._entries[key] = record
+        self.writes += 1
+        if self.path is None:
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        line = json.dumps(_canonical({"schema": CACHE_SCHEMA, "key": key,
+                                      "record": record}),
+                          sort_keys=True) + "\n"
+        fd = os.open(self.path, os.O_WRONLY | os.O_APPEND | os.O_CREAT,
+                     0o644)
+        try:
+            os.write(fd, line.encode("utf-8"))
+        finally:
+            os.close(fd)
+
+    def counters(self) -> dict:
+        return {"entries": len(self._entries), "hits": self.hits,
+                "misses": self.misses, "writes": self.writes}

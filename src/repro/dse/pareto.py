@@ -1,0 +1,65 @@
+"""Pareto dominance and front extraction for the design-space explorer.
+
+All objectives are *minimised*: a sweep record carries an ``objectives``
+tuple such as ``(energy_per_sample, -throughput, area)`` where
+higher-is-better axes are negated by the caller.  The functions here are
+deliberately pure and container-agnostic — ``tests/dse/
+test_pareto_properties.py`` pins their algebra (irreflexivity,
+transitivity, permutation/duplicate invariance, merge-of-fronts ==
+front-of-union) with hypothesis, and the sweep driver trusts exactly
+those properties when it escalates only frontier candidates.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """True when objective vector ``a`` Pareto-dominates ``b``.
+
+    ``a`` dominates ``b`` iff it is no worse on every axis and strictly
+    better on at least one (all objectives minimised).  Equal vectors do
+    not dominate each other, which makes the relation irreflexive.
+    """
+    if len(a) != len(b):
+        raise ValueError(
+            f"objective vectors differ in arity: {len(a)} vs {len(b)}")
+    no_worse = all(x <= y for x, y in zip(a, b))
+    return no_worse and any(x < y for x, y in zip(a, b))
+
+
+def pareto_front(items: Iterable, key: Callable = None) -> list:
+    """The non-dominated subset of ``items``, in canonical order.
+
+    ``key`` maps an item to its objective vector (default: the item
+    itself).  The result is sorted by objective vector (ties broken
+    stably by first appearance) and de-duplicated on the objective
+    vector, so the front is invariant under permutation and duplication
+    of the input — the properties the sweep cache relies on.
+    """
+    key = key if key is not None else lambda item: item
+    keyed = [(tuple(key(item)), index, item)
+             for index, item in enumerate(items)]
+    front = []
+    seen = set()
+    for vector, index, item in keyed:
+        if vector in seen:
+            continue
+        if any(dominates(other, vector) for other, _, _ in keyed):
+            continue
+        seen.add(vector)
+        front.append((vector, index, item))
+    front.sort(key=lambda entry: (entry[0], entry[1]))
+    return [item for _, _, item in front]
+
+
+def merge_fronts(*fronts: Iterable, key: Callable = None) -> list:
+    """Pareto front of the union of several (partial) fronts.
+
+    Sound for incremental sweeps because dominance is transitive: a
+    point dominated within its own batch can never re-enter the merged
+    front.
+    """
+    combined = [item for front in fronts for item in front]
+    return pareto_front(combined, key=key)

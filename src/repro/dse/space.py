@@ -1,0 +1,264 @@
+"""The design space: candidate points, feasibility rules, default axes.
+
+A :class:`DesignPoint` is one complete configuration the explorer can
+rank: an architecture family (the paper's three), a core count, an
+IM/DM banking geometry, a per-lead Huffman-LUT mapping, a technology
+node and a supply voltage.  The *structural* part (everything except
+node and voltage) determines a simulation; node and voltage only scale
+the analytical power model, which is why escalation de-duplicates on
+:meth:`DesignPoint.structural_key`.
+
+Feasibility encodes the platform's hard rules rather than discovering
+them by exception later:
+
+* core and bank counts are powers of two (Mesh-of-Trees crossbars) and
+  the DM banks divide evenly among cores (private-section ownership);
+* mc-ref replicates the program per core, so its IM geometry is pinned
+  to one 4096-word bank per core; the shared-IM designs keep the
+  paper's total 96 kB and redistribute it across the swept bank count;
+* the shared/private split of each DM bank is chosen canonically: the
+  paper's 768-word split when the benchmark fits it, otherwise the
+  smallest split that holds the shared read-only data — and the point
+  is rejected when no split can satisfy both windows;
+* the lead mapping must divide the paper's 8-lead ECG evenly across
+  cores.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigurationError
+from repro.kernels.memmap import BenchmarkMemoryMap
+from repro.memory.layout import DataMemoryLayout
+from repro.platform.config import ARCH_NAMES, ArchConfig, build_config
+from repro.power.technology import TECH_NODES, make_technology
+
+#: The paper's ECG workload: 8 leads sampled at 250 Hz.
+TOTAL_LEADS = 8
+
+#: Total shared-design memory capacities the sweep preserves (words).
+IM_TOTAL_WORDS = 8 * 4096     # 96 kB of 24-bit instructions
+DM_TOTAL_WORDS = 16 * 2048    # 64 kB of 16-bit data
+
+#: mc-ref replicates the program: one paper-sized bank per core.
+MCREF_IM_BANK_WORDS = 4096
+
+#: The paper's shared/private split of each data bank, preferred
+#: whenever the benchmark fits it (keeps the seed points bit-identical
+#: to the golden geometry).
+CANONICAL_DM_SPLIT = 768
+
+#: Huffman-LUT mappings (paper Section IV-C2).
+MAPPINGS = ("private-lut", "shared-lut")
+
+# Default sweep axes: ~168 structural configurations x 5 voltages.
+DEFAULT_ARCHES = ARCH_NAMES
+DEFAULT_CORES = (1, 2, 4, 8)
+DEFAULT_IM_BANKS = (4, 8, 16)
+DEFAULT_DM_BANKS = (8, 16, 32)
+DEFAULT_MAPPINGS = MAPPINGS
+#: 90 nm only by default: the smaller nodes dominate every objective at
+#: once (same netlist, less area, less energy, more speed), so sweeping
+#: them by default would evict every 90 nm point — including the paper's
+#: own designs — from the front.  ``--nodes`` opts into the projection.
+DEFAULT_NODES = (90,)
+DEFAULT_VOLTAGES = (1.2, 1.0, 0.8, 0.65, 0.5)
+
+_TECHNOLOGY = make_technology()
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One fully-specified candidate configuration."""
+
+    arch: str
+    n_cores: int
+    im_banks: int
+    im_bank_words: int
+    dm_banks: int
+    dm_bank_words: int
+    dm_shared_words_per_bank: int
+    mapping: str
+    tech_nm: int = 90
+    voltage: float = 1.2
+
+    @property
+    def huffman_private(self) -> bool:
+        return self.mapping == "private-lut"
+
+    def arch_config(self) -> ArchConfig:
+        """The platform configuration this point simulates."""
+        overrides = dict(
+            n_cores=self.n_cores,
+            im_banks=self.im_banks,
+            im_bank_words=self.im_bank_words,
+            dm_banks=self.dm_banks,
+            dm_bank_words=self.dm_bank_words,
+            dm_shared_words_per_bank=self.dm_shared_words_per_bank,
+        )
+        return build_config(self.arch, **overrides)
+
+    def structural_key(self) -> tuple:
+        """Identity of the *simulation* behind this point (no V, no node)."""
+        return (self.arch, self.n_cores, self.im_banks, self.im_bank_words,
+                self.dm_banks, self.dm_bank_words,
+                self.dm_shared_words_per_bank, self.mapping)
+
+    def structural_payload(self) -> dict:
+        return {
+            "arch": self.arch,
+            "n_cores": self.n_cores,
+            "im_banks": self.im_banks,
+            "im_bank_words": self.im_bank_words,
+            "dm_banks": self.dm_banks,
+            "dm_bank_words": self.dm_bank_words,
+            "dm_shared_words_per_bank": self.dm_shared_words_per_bank,
+            "mapping": self.mapping,
+        }
+
+    def payload(self) -> dict:
+        """JSON-friendly dump (hashing, artifacts)."""
+        payload = self.structural_payload()
+        payload.update(tech_nm=self.tech_nm, voltage=self.voltage)
+        return payload
+
+    def label(self) -> str:
+        return (f"{self.arch}/c{self.n_cores}"
+                f"/im{self.im_banks}x{self.im_bank_words}"
+                f"/dm{self.dm_banks}x{self.dm_bank_words}"
+                f"/{self.mapping}/{self.tech_nm}nm/{self.voltage:g}V")
+
+
+def _power_of_two(n: int) -> bool:
+    return n > 0 and not n & (n - 1)
+
+
+def _choose_split(dm_banks: int, dm_bank_words: int, n_cores: int,
+                  memmap: BenchmarkMemoryMap) -> int | None:
+    """Smallest workable shared/private split, preferring the paper's."""
+    candidates = [CANONICAL_DM_SPLIT]
+    minimal = -(-memmap.shared_words_used // dm_banks)  # ceil division
+    candidates.append(minimal)
+    for split in candidates:
+        if not 0 < split < dm_bank_words:
+            continue
+        try:
+            layout = DataMemoryLayout(
+                banks=dm_banks, bank_words=dm_bank_words, n_cores=n_cores,
+                shared_words_per_bank=split)
+            memmap.validate(layout)
+        except ConfigurationError:
+            continue
+        return split
+    return None
+
+
+def make_point(arch: str, n_cores: int, im_banks: int, dm_banks: int,
+               mapping: str, tech_nm: int = 90, voltage: float = 1.2,
+               n_samples: int = 512,
+               n_measurements: int = 256) -> DesignPoint:
+    """Resolve one axis combination into a feasible :class:`DesignPoint`.
+
+    Raises :class:`~repro.errors.ConfigurationError` with the violated
+    rule when the combination is infeasible.
+    """
+    if mapping not in MAPPINGS:
+        raise ConfigurationError(
+            f"unknown mapping {mapping!r}; expected one of {MAPPINGS}")
+    if tech_nm not in TECH_NODES:
+        raise ConfigurationError(
+            f"no scaling table for {tech_nm} nm "
+            f"(have {sorted(TECH_NODES)})")
+    if not _TECHNOLOGY.v_min <= voltage <= _TECHNOLOGY.v_nom:
+        raise ConfigurationError(
+            f"supply {voltage} V outside the technology's "
+            f"[{_TECHNOLOGY.v_min}, {_TECHNOLOGY.v_nom}] V range")
+    if not _power_of_two(n_cores) or TOTAL_LEADS % n_cores:
+        raise ConfigurationError(
+            f"{n_cores} cores cannot split {TOTAL_LEADS} ECG leads "
+            f"evenly (need a power-of-two divisor)")
+    if not _power_of_two(im_banks):
+        raise ConfigurationError("IM bank count must be a power of two")
+    if not _power_of_two(dm_banks):
+        raise ConfigurationError(
+            "DM bank count must be a power of two (MoT crossbar)")
+    if dm_banks % n_cores:
+        raise ConfigurationError(
+            f"{dm_banks} DM banks do not divide evenly among "
+            f"{n_cores} cores")
+
+    if arch == "mc-ref":
+        # Private IM: one program copy per core, paper-sized banks.
+        im_banks = n_cores
+        im_bank_words = MCREF_IM_BANK_WORDS
+    else:
+        im_bank_words = IM_TOTAL_WORDS // im_banks
+
+    dm_bank_words = DM_TOTAL_WORDS // dm_banks
+    memmap = BenchmarkMemoryMap(n_samples=n_samples,
+                                n_measurements=n_measurements,
+                                huffman_private=(mapping == "private-lut"))
+    split = _choose_split(dm_banks, dm_bank_words, n_cores, memmap)
+    if split is None:
+        raise ConfigurationError(
+            f"no shared/private split of {dm_banks}x{dm_bank_words}-word "
+            f"DM banks holds the benchmark on {n_cores} cores")
+
+    point = DesignPoint(
+        arch=arch, n_cores=n_cores, im_banks=im_banks,
+        im_bank_words=im_bank_words, dm_banks=dm_banks,
+        dm_bank_words=dm_bank_words, dm_shared_words_per_bank=split,
+        mapping=mapping, tech_nm=tech_nm, voltage=voltage)
+    point.arch_config()  # final authority on structural validity
+    return point
+
+
+def build_space(arches=DEFAULT_ARCHES, cores=DEFAULT_CORES,
+                im_banks=DEFAULT_IM_BANKS, dm_banks=DEFAULT_DM_BANKS,
+                mappings=DEFAULT_MAPPINGS, nodes=DEFAULT_NODES,
+                voltages=DEFAULT_VOLTAGES, n_samples: int = 512,
+                n_measurements: int = 256):
+    """Cross the axes into feasible, de-duplicated design points.
+
+    Returns ``(points, rejected)`` where ``rejected`` is a list of
+    ``{"axes": ..., "reason": ...}`` dicts — the sweep reports what it
+    refused to evaluate instead of silently shrinking the space.
+    """
+    points = []
+    rejected = []
+    seen = set()
+    for arch, c, im_b, dm_b, mapping, node, voltage in itertools.product(
+            arches, cores, im_banks, dm_banks, mappings, nodes, voltages):
+        axes = {"arch": arch, "n_cores": c, "im_banks": im_b,
+                "dm_banks": dm_b, "mapping": mapping, "tech_nm": node,
+                "voltage": voltage}
+        try:
+            point = make_point(arch, c, im_b, dm_b, mapping,
+                               tech_nm=node, voltage=voltage,
+                               n_samples=n_samples,
+                               n_measurements=n_measurements)
+        except ConfigurationError as exc:
+            rejected.append({"axes": axes, "reason": str(exc)})
+            continue
+        key = point.payload()
+        key = tuple(sorted(key.items()))
+        if key in seen:  # mc-ref collapses the IM-bank axis
+            continue
+        seen.add(key)
+        points.append(point)
+    return points, rejected
+
+
+def seed_points(mapping: str = "private-lut") -> tuple[DesignPoint, ...]:
+    """The paper's two evaluated design points (8-core, paper geometry).
+
+    mc-ref (Dogan et al., PATMOS 2011) and the proposed interleaved
+    ulpmc design, both at 90 nm and nominal supply — the two rows of
+    Tables I/II.  The sweep's acceptance bar is that both survive on
+    the default front.
+    """
+    return tuple(
+        make_point(arch, 8, 8, 16, mapping)
+        for arch in ("mc-ref", "ulpmc-int"))

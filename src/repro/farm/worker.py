@@ -203,7 +203,14 @@ def execute_job(job_id: int, spec, worker_id: int = 0) -> JobResult:
 
 def worker_main(worker_id: int, conn, result_queue, warm: bool) -> None:
     """Process entry point: warm, then serve jobs until the ``None``
-    sentinel (or a closed pipe) arrives."""
+    sentinel (or a closed pipe) arrives.
+
+    Specs may carry their own payload: a spec with a ``run_in_worker``
+    method (e.g. the design-space explorer's escalation jobs) executes
+    that instead of the default patient-stream job, and a spec with
+    ``farm_warm = False`` skips the ECG warm-up run — its geometry
+    would not benefit from warming the default program image.
+    """
     warm_info = {"worker_id": worker_id, "warm": warm}
     try:
         jobs_seen = 0
@@ -216,14 +223,18 @@ def worker_main(worker_id: int, conn, result_queue, warm: bool) -> None:
                 return
             job_id, spec = message
             if jobs_seen == 0:
-                if warm:
+                if warm and getattr(spec, "farm_warm", True):
                     warm_info.update(warm_worker(spec))
                 result_queue.put(("ready", worker_id, dict(warm_info)))
             jobs_seen += 1
             if not warm:
                 clear_caches()
             try:
-                result = execute_job(job_id, spec, worker_id=worker_id)
+                runner = getattr(spec, "run_in_worker", None)
+                if runner is not None:
+                    result = runner(job_id, worker_id=worker_id)
+                else:
+                    result = execute_job(job_id, spec, worker_id=worker_id)
             except BaseException:
                 result_queue.put(("failed", worker_id,
                                   (job_id, traceback.format_exc())))

@@ -15,7 +15,7 @@ when inapplicable)::
     {
       "schema":        "repro-manifest/2",
       "kind":          "experiment" | "trace" | "profile" | "benchmark"
-                       | "watch",
+                       | "watch" | "farm" | "fleet" | "dse",
       "name":          str,            # experiment id / benchmark name
       "arch":          str | null,     # platform name
       "config":        object | null,  # full ArchConfig dump
@@ -92,6 +92,13 @@ def _canonical(obj):
                                          str(kv[0]))}
     if isinstance(obj, (list, tuple)):
         return [_canonical(value) for value in obj]
+    if isinstance(obj, (set, frozenset)):
+        # Iteration order of a set depends on insertion history and (for
+        # strings) on PYTHONHASHSEED, so it must never leak into a
+        # digest: canonicalise the elements first, then sort by their
+        # JSON encoding, which totally orders mixed element types.
+        return sorted((_canonical(value) for value in obj),
+                      key=lambda value: json.dumps(value, sort_keys=True))
     if isinstance(obj, (str, int, float, bool)) or obj is None:
         return obj
     return repr(obj)

@@ -43,8 +43,12 @@ from repro.obs.manifest import (DEFAULT_DIRECTORY, MANIFEST_NAME,
 #: ``benchmark`` records digest timing payloads and are excluded.
 #: ``farm`` (one record per fleet shard) and ``fleet`` (the merged
 #: farm record) digest simulated outputs only, so they gate like any
-#: other run.
-DEFAULT_KINDS = ("experiment", "trace", "profile", "farm", "fleet")
+#: other run.  ``dse`` records digest the Pareto-front payload (points,
+#: metrics, escalated cycle counts — never wall times or cache
+#: counters), so a drifted front or fidelity number gates exactly like
+#: a drifted simulation.
+DEFAULT_KINDS = ("experiment", "trace", "profile", "farm", "fleet",
+                 "dse")
 
 #: ``stats_summary`` fields shown with before/after values when a group
 #: drifts, in display order.

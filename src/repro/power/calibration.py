@@ -41,7 +41,6 @@ FIG7_ANCHOR_WORKLOAD_OPS = 636.9e6
 FIG7_ANCHOR_POWER_W = 397.4e-3
 
 
-@lru_cache(maxsize=8)
 def reference_results(huffman_private: bool = True,
                       data_broadcast: bool = True,
                       instr_broadcast: bool = True):
@@ -49,8 +48,18 @@ def reference_results(huffman_private: bool = True,
 
     Returns ``(built_benchmark, {arch_name: SimulationResult})``.  Every
     run is verified bit-exactly against the golden Python models before
-    being returned.
+    being returned.  The wrapper normalises the arguments so
+    ``reference_results()`` and ``reference_results(huffman_private=True)``
+    share one cache entry — ``lru_cache`` alone would key them
+    separately and simulate the references twice.
     """
+    return _reference_results(bool(huffman_private), bool(data_broadcast),
+                              bool(instr_broadcast))
+
+
+@lru_cache(maxsize=8)
+def _reference_results(huffman_private: bool, data_broadcast: bool,
+                       instr_broadcast: bool):
     built = build_benchmark(BenchmarkSpec(huffman_private=huffman_private))
     results: dict[str, SimulationResult] = {}
     for name in ARCH_NAMES:
@@ -64,6 +73,11 @@ def reference_results(huffman_private: bool = True,
         verify_result(built, result)
         results[name] = result
     return built, results
+
+
+# Callers (test fixtures) invalidate through the public name.
+reference_results.cache_clear = _reference_results.cache_clear
+reference_results.cache_info = _reference_results.cache_info
 
 
 @dataclass(frozen=True)

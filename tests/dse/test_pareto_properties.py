@@ -1,0 +1,100 @@
+"""Hypothesis properties of Pareto dominance and front extraction.
+
+The sweep driver escalates only frontier candidates and merges cached
+partial fronts, so it silently relies on this algebra:
+
+* dominance is irreflexive, asymmetric and transitive;
+* the front is invariant under permutation and duplication of the
+  input (the cache replays points in arbitrary order);
+* ``merge_fronts`` over any partition of the input equals the front of
+  the union (incremental sweeps lose nothing);
+* no survivor is dominated, and everything rejected is dominated by a
+  survivor (the escalation step never simulates a dominated design and
+  never needs a design the front dropped).
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dse import dominates, merge_fronts, pareto_front
+
+# Small integer coordinates force frequent ties, duplicates and
+# dominance chains — the interesting regime for front algebra.
+_VECTOR = st.tuples(st.integers(-4, 4), st.integers(-4, 4),
+                    st.integers(-4, 4))
+_VECTORS = st.lists(_VECTOR, max_size=24)
+
+
+@settings(max_examples=100, deadline=None)
+@given(_VECTOR)
+def test_dominance_irreflexive(v):
+    assert not dominates(v, v)
+
+
+@settings(max_examples=100, deadline=None)
+@given(_VECTOR, _VECTOR)
+def test_dominance_asymmetric(a, b):
+    if dominates(a, b):
+        assert not dominates(b, a)
+
+
+@settings(max_examples=200, deadline=None)
+@given(_VECTOR, _VECTOR, _VECTOR)
+def test_dominance_transitive(a, b, c):
+    if dominates(a, b) and dominates(b, c):
+        assert dominates(a, c)
+
+
+def test_dominance_arity_mismatch_raises():
+    with pytest.raises(ValueError):
+        dominates((1.0, 2.0), (1.0, 2.0, 3.0))
+
+
+@settings(max_examples=100, deadline=None)
+@given(_VECTORS, st.randoms(use_true_random=False))
+def test_front_invariant_under_permutation(vectors, rng):
+    shuffled = list(vectors)
+    rng.shuffle(shuffled)
+    assert pareto_front(shuffled) == pareto_front(vectors)
+
+
+@settings(max_examples=100, deadline=None)
+@given(_VECTORS)
+def test_front_invariant_under_duplication(vectors):
+    assert pareto_front(vectors + vectors) == pareto_front(vectors)
+
+
+@settings(max_examples=100, deadline=None)
+@given(_VECTORS, st.integers(0, 24))
+def test_merge_of_fronts_is_front_of_union(vectors, cut):
+    cut = min(cut, len(vectors))
+    left, right = vectors[:cut], vectors[cut:]
+    merged = merge_fronts(pareto_front(left), pareto_front(right))
+    assert merged == pareto_front(vectors)
+
+
+@settings(max_examples=100, deadline=None)
+@given(_VECTORS)
+def test_no_dominated_survivor_and_full_coverage(vectors):
+    front = pareto_front(vectors)
+    front_set = set(front)
+    for survivor in front:
+        assert not any(dominates(other, survivor) for other in vectors)
+    # Everything not on the front is dominated by a front member.
+    for vector in vectors:
+        assert vector in front_set \
+            or any(dominates(survivor, vector) for survivor in front)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_VECTORS)
+def test_front_with_key_matches_raw_front(vectors):
+    """Keyed extraction sees exactly the same vectors as raw extraction."""
+    records = [{"objectives": vector, "tag": index}
+               for index, vector in enumerate(vectors)]
+    keyed = pareto_front(records, key=lambda record: record["objectives"])
+    assert [record["objectives"] for record in keyed] \
+        == pareto_front(vectors)

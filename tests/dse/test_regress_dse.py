@@ -1,0 +1,90 @@
+"""``dse`` manifest records gate in `repro regress` like any run.
+
+Fixture-driven (no sweeps): synthesised ``manifest.jsonl`` files pin
+that a mutated Pareto-front digest is reported as drift with the
+summary fields named, that identical reruns pass, and that records
+from a newer manifest schema are skipped rather than misread.
+"""
+
+import json
+
+from repro.obs import run_regression
+from repro.obs.regress import DEFAULT_KINDS
+
+
+def _dse_record(digest="front-digest-1", git_rev="rev-1", created=1000.0,
+                front_size=23, schema="repro-manifest/2"):
+    return {
+        "schema": schema,
+        "kind": "dse",
+        "name": "sweep",
+        "arch": None,
+        "config_hash": "space-digest-a",
+        "git_rev": git_rev,
+        "stats_digest": digest,
+        "stats_summary": {"points": 840, "front_size": front_size,
+                          "escalated_families": 23},
+        "created": created,
+    }
+
+
+def _write(directory, records):
+    directory.mkdir(parents=True, exist_ok=True)
+    (directory / "manifest.jsonl").write_text(
+        "\n".join(json.dumps(record) for record in records) + "\n",
+        encoding="utf-8")
+    return directory
+
+
+def test_dse_is_a_gated_kind():
+    assert "dse" in DEFAULT_KINDS
+
+
+def test_identical_dse_reruns_pass(tmp_path):
+    runs = _write(tmp_path / "runs", [
+        _dse_record(created=1.0),
+        _dse_record(created=2.0, git_rev="rev-2"),
+    ])
+    report = run_regression(runs, min_groups=1)
+    assert report.ok
+
+
+def test_mutated_front_is_drift(tmp_path):
+    """A new revision whose sweep produced a different front fails the
+    gate, naming the summary delta."""
+    runs = _write(tmp_path / "runs", [
+        _dse_record(created=1.0),
+        _dse_record(created=2.0, git_rev="rev-2",
+                    digest="front-digest-MUTATED", front_size=21),
+    ])
+    report = run_regression(runs, min_groups=1)
+    assert not report.ok
+    (finding,) = report.findings
+    assert finding.severity == "drift"
+    assert finding.key[0] == "dse"
+    assert finding.summary_delta == {"front_size": (23, 21)}
+
+
+def test_same_revision_front_divergence_is_nondeterminism(tmp_path):
+    runs = _write(tmp_path / "runs", [
+        _dse_record(created=1.0),
+        _dse_record(created=2.0, digest="front-digest-2"),
+    ])
+    report = run_regression(runs, min_groups=1)
+    assert not report.ok
+    (finding,) = report.findings
+    assert finding.severity == "nondeterministic"
+
+
+def test_newer_schema_dse_records_are_skipped(tmp_path):
+    runs = _write(tmp_path / "runs", [
+        _dse_record(created=1.0),
+        _dse_record(created=2.0, git_rev="rev-2",
+                    digest="front-digest-MUTATED",
+                    schema="repro-manifest/99"),
+    ])
+    report = run_regression(runs, min_groups=0)
+    # The mutated record is from a future schema: skipped, not compared,
+    # so no drift is reported.
+    assert not report.findings
+    assert report.skipped_schema == 1

@@ -1,0 +1,86 @@
+"""The candidate space: size, feasibility rules, de-duplication."""
+
+import dataclasses
+
+import pytest
+
+from repro.dse import build_space, make_point, seed_points
+from repro.dse.space import DEFAULT_VOLTAGES, MCREF_IM_BANK_WORDS
+from repro.errors import ConfigurationError
+
+
+def test_default_space_meets_sweep_floor():
+    """The acceptance bar: a default sweep covers >= 200 configurations
+    and rejects nothing silently."""
+    points, rejected = build_space()
+    assert len(points) >= 200
+    assert all("reason" in entry and entry["reason"]
+               for entry in rejected)
+    # De-duplicated: every payload is unique.
+    payloads = [tuple(sorted(point.payload().items()))
+                for point in points]
+    assert len(payloads) == len(set(payloads))
+
+
+def test_paper_seed_points_are_in_the_default_space():
+    points, _ = build_space()
+    payloads = {tuple(sorted(point.payload().items()))
+                for point in points}
+    for seed in seed_points():
+        assert tuple(sorted(seed.payload().items())) in payloads
+
+
+def test_mcref_im_geometry_is_pinned():
+    """mc-ref replicates the program: the IM-bank axis collapses to one
+    paper-sized bank per core, whatever the sweep asked for."""
+    for im_banks in (4, 8, 16):
+        point = make_point("mc-ref", 4, im_banks, 8, "private-lut")
+        assert point.im_banks == 4
+        assert point.im_bank_words == MCREF_IM_BANK_WORDS
+
+
+def test_shared_im_preserves_total_capacity():
+    for im_banks in (4, 8, 16):
+        point = make_point("ulpmc-int", 8, im_banks, 16, "private-lut")
+        assert point.im_banks * point.im_bank_words == 8 * 4096
+
+
+def test_structural_key_ignores_node_and_voltage():
+    point = make_point("ulpmc-int", 8, 8, 16, "private-lut")
+    variant = dataclasses.replace(point, tech_nm=65, voltage=0.8)
+    assert variant.structural_key() == point.structural_key()
+    assert variant.payload() != point.payload()
+
+
+@pytest.mark.parametrize("axes, fragment", [
+    (dict(n_cores=3), "leads"),
+    (dict(n_cores=16), "leads"),
+    (dict(im_banks=6), "power of two"),
+    (dict(dm_banks=12), "power of two"),
+    (dict(n_cores=8, dm_banks=4), "divide evenly"),
+    (dict(mapping="mystery-lut"), "unknown mapping"),
+    (dict(voltage=1.5), "outside"),
+    (dict(voltage=0.3), "outside"),
+    (dict(tech_nm=28), "no scaling table"),
+])
+def test_infeasible_axes_are_rejected_with_the_rule(axes, fragment):
+    kwargs = dict(arch="ulpmc-int", n_cores=8, im_banks=8, dm_banks=16,
+                  mapping="private-lut")
+    kwargs.update(axes)
+    with pytest.raises(ConfigurationError, match=fragment):
+        make_point(**kwargs)
+
+
+def test_build_space_reports_rejections():
+    points, rejected = build_space(cores=(3, 8), im_banks=(8,),
+                                   dm_banks=(16,),
+                                   mappings=("private-lut",),
+                                   voltages=(1.2,))
+    assert points
+    assert rejected
+    assert all(entry["axes"]["n_cores"] == 3 for entry in rejected)
+
+
+def test_default_voltage_axis_spans_the_technology_window():
+    assert max(DEFAULT_VOLTAGES) == 1.2
+    assert min(DEFAULT_VOLTAGES) == 0.5
