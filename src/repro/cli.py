@@ -31,6 +31,17 @@ Five subcommands, all but ``regress`` writing run-manifest provenance to
   calibrated analytical model, escalate only the Pareto front to
   cycle-accurate simulation on the farm, and write the front artifact
   plus a ``dse`` manifest record with cache counters and fidelity.
+* ``repro faults`` — run a deterministic fault-injection campaign
+  (seeded bit flips into register files, data-memory banks and the
+  instruction image, plus stuck/dead cores), classify every trial
+  (masked / sdc / detected / hang), measure graceful degradation on
+  dead-core trials, and write a ``fault`` manifest record whose digest
+  reproduces across engines, worker counts and ``--resume``.
+
+Exit codes are uniform across subcommands: 0 success, 1 a gate failed
+(regression finding, failed shard, SDC rate over ``--max-sdc``), 2 a
+usage or configuration error (:class:`repro.errors.ReproError` renders
+as one line on stderr, never a traceback).
 """
 
 from __future__ import annotations
@@ -506,6 +517,17 @@ def _farm_summary_table(fleet) -> str:
             f"deadline-miss rate: {summary['deadline_miss_rate']:.2%} "
             f"({summary['deadline_misses']}/{summary['blocks_done']} "
             f"blocks)")
+    if summary["worker_timeouts"] or summary["resumed_from_checkpoint"]:
+        lines.append(
+            f"resilience: {summary['worker_timeouts']} worker(s) killed "
+            f"on timeout/heartbeat, {summary['resumed_from_checkpoint']} "
+            f"shard(s) resumed from checkpoint")
+    for shard, info in summary["retries"].items():
+        backoffs = ", ".join(
+            f"{value:g}s" for value in info["backoff_schedule_s"])
+        lines.append(f"  retried {shard}: {info['attempts']} attempt(s), "
+                     f"cause(s) {'/'.join(info['causes'])}, "
+                     f"backoff [{backoffs}]")
     lines.append(f"fleet digest: {fleet.digest()}")
     return "\n".join(lines)
 
@@ -544,6 +566,25 @@ def cmd_farm(argv) -> int:
     parser.add_argument("--retries", type=int, default=1, metavar="N",
                         help="requeue a crashed/failed job up to N times "
                              "(default: 1)")
+    parser.add_argument("--timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-job wall-clock cap; an overrunning job "
+                             "has its worker killed and is requeued with "
+                             "cause 'timeout'")
+    parser.add_argument("--heartbeat-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="kill a worker whose heartbeat goes silent "
+                             "this long (wedged interpreter) and requeue "
+                             "its job with cause 'heartbeat'")
+    parser.add_argument("--checkpoint", metavar="FILE", default=None,
+                        help="append every completed shard to this "
+                             "checkpoint JSONL (default with --resume: "
+                             "derived from the plan under "
+                             "RUNS_DIR/checkpoints/)")
+    parser.add_argument("--resume", action="store_true",
+                        help="satisfy shards already in the checkpoint "
+                             "without re-simulation; the fleet digest is "
+                             "bit-identical to a cold run")
     parser.add_argument("--exact", action="store_true",
                         help="cycle-stepped reference mode instead of "
                              "fast-forward (slow; for cross-checks)")
@@ -570,7 +611,9 @@ def cmd_farm(argv) -> int:
         parser.error("--workers must be >= 1")
 
     from repro.farm import build_plan, run_farm
-    from repro.farm.fleet import DEFAULT_BASE_SEED, write_fleet_manifests
+    from repro.farm.checkpoint import checkpoint_path
+    from repro.farm.fleet import DEFAULT_BASE_SEED, plan_identity, \
+        write_fleet_manifests
     from repro.farm.jobs import JobState
 
     base_seed = args.seed if args.seed is not None else DEFAULT_BASE_SEED
@@ -580,6 +623,10 @@ def cmd_farm(argv) -> int:
         n_blocks=args.blocks, window_cycles=args.window,
         clock_hz=args.clock_hz, fast_forward=not args.exact,
         translation_blocks=not args.no_blocks)
+    checkpoint = args.checkpoint
+    if checkpoint is None and args.resume:
+        checkpoint = checkpoint_path(args.runs_dir, "farm",
+                                     plan_identity(plan, base_seed))
 
     tty = sys.stdout.isatty()
 
@@ -589,7 +636,10 @@ def cmd_farm(argv) -> int:
                        "shard_index": job.spec.shard_index,
                        "arch": job.spec.arch, "seed": job.spec.seed,
                        "state": job.state.value, "attempts": job.attempts,
+                       "resumed": job.resumed,
                        "done": done, "total": total}
+            if job.retries:
+                payload["retries"] = job.retry_summary()
             if job.result is not None:
                 payload.update(
                     stats_digest=job.result.stats_digest,
@@ -602,7 +652,10 @@ def cmd_farm(argv) -> int:
             _emit_json_line(payload)
             return
         line = (f"farm {done}/{total}  shard {job.spec.shard_index:>3} "
-                f"[{job.spec.arch}] {job.state.value}")
+                f"[{job.spec.arch}] {job.state.value}"
+                + (" (resumed)" if job.resumed else "")
+                + (f" ({job.attempts} attempts)"
+                   if job.attempts > 1 else ""))
         if tty:
             print(f"\r\x1b[2K{line}", end="", flush=True)
         else:
@@ -610,7 +663,10 @@ def cmd_farm(argv) -> int:
 
     fleet = run_farm(plan, workers=args.workers, base_seed=base_seed,
                      max_retries=args.retries, warm=not args.no_warm,
-                     fail_fast=args.fail_fast, on_job=on_job)
+                     fail_fast=args.fail_fast, on_job=on_job,
+                     job_timeout_s=args.timeout,
+                     heartbeat_timeout_s=args.heartbeat_timeout,
+                     checkpoint=checkpoint, resume=args.resume)
     if tty and not args.json:
         print()
 
@@ -808,6 +864,226 @@ def cmd_dse(argv) -> int:
     return 0
 
 
+def _fault_label(fault: tuple) -> str:
+    """Compact one-line rendering of a trial's fault descriptors."""
+    parts = []
+    for entry in fault:
+        bits = [entry["kind"]]
+        if "core" in entry:
+            bits.append(f"c{entry['core']}")
+        if "bank" in entry:
+            bits.append(f"b{entry['bank']}")
+        if "index" in entry:
+            bits.append(f"i{entry['index']}")
+        if "mask" in entry:
+            bits.append(f"^{entry['mask']:#06x}")
+        bits.append(f"@{entry['cycle']}")
+        parts.append(" ".join(bits))
+    return "; ".join(parts)
+
+
+def _faults_summary_table(campaign) -> str:
+    from repro.resilience import OUTCOMES
+    counts = campaign.outcome_counts()
+    total = len(campaign.results)
+    lines = [
+        f"fault campaign — {total}/{len(campaign.specs)} trial(s) "
+        f"classified, {campaign.workers} worker(s), "
+        f"{campaign.wall_time_s:.2f} s wall"
+        + (f", {campaign.resumed} resumed" if campaign.resumed else "")
+        + (f", {campaign.timeouts} worker timeout(s)"
+           if campaign.timeouts else "")
+        + (f", {campaign.crashes} worker crash(es)"
+           if campaign.crashes else ""),
+        f"{'outcome':<10}{'count':>7}{'rate':>9}",
+    ]
+    for outcome in OUTCOMES:
+        rate = counts[outcome] / total if total else 0.0
+        lines.append(f"{outcome:<10}{counts[outcome]:>7}{rate:>9.1%}")
+    lines.append(f"{'trial':>6} {'outcome':<9} {'cycles':>9}  fault")
+    for result in campaign.results:
+        cycles = result.cycles if result.cycles >= 0 else "-"
+        lines.append(f"{result.trial:>6} {result.outcome:<9} "
+                     f"{cycles:>9}  {_fault_label(result.fault)}")
+    for report in campaign.degradations():
+        lines.append(
+            f"degradation: core {report['dead_core']} dead, lead "
+            f"remapped to core {report['survivor']} "
+            f"({'verified' if report['remap_verified'] else 'MISMATCH'}), "
+            f"throughput x{report['throughput_factor']:.3f}, "
+            f"{report['deadline_misses']} deadline miss(es)")
+    lines.append(f"campaign digest: {campaign.digest()}")
+    return "\n".join(lines)
+
+
+def cmd_faults(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro faults",
+        description="Run a deterministic fault-injection campaign "
+                    "(seeded bit flips, stuck and dead cores) over the "
+                    "farm scheduler, classify every trial (masked / sdc "
+                    "/ detected / hang), measure dead-core graceful "
+                    "degradation, and write a fault manifest record.")
+    parser.add_argument("--trials", type=int, default=24, metavar="N",
+                        help="number of fault trials (default: 24)")
+    parser.add_argument("--arch", choices=_ARCH_CHOICES[:-1],
+                        default="mc-ref",
+                        help="platform under test (default: mc-ref)")
+    parser.add_argument("--campaign-seed", type=int, default=2012,
+                        metavar="SEED",
+                        help="fault-plan seed; per-trial faults derive "
+                             "deterministically from (seed, trial)")
+    parser.add_argument("--seed", type=int, default=2012, metavar="SEED",
+                        help="ECG recording seed (default: 2012)")
+    parser.add_argument("--samples", type=int, default=64,
+                        help="ECG block length (default: 64 — campaign "
+                             "trials are many, so the geometry is small)")
+    parser.add_argument("--measurements", type=int, default=32,
+                        help="compressed measurements per block "
+                             "(default: 32)")
+    parser.add_argument("--workers", type=int, default=2, metavar="N",
+                        help="worker processes (default: 2)")
+    parser.add_argument("--retries", type=int, default=1, metavar="N",
+                        help="requeue a crashed/failed trial up to N "
+                             "times (default: 1)")
+    parser.add_argument("--watchdog", type=int, default=0,
+                        metavar="CYCLES",
+                        help="sync-watchdog window; 0 derives it from "
+                             "the golden run (cycles/4, min 4096)")
+    parser.add_argument("--max-cycles", type=int, default=0,
+                        metavar="CYCLES",
+                        help="per-trial cycle budget; 0 derives "
+                             "4x the golden run")
+    parser.add_argument("--clock-hz", type=float, default=1e6,
+                        help="node clock for degradation deadline "
+                             "budgets (default: 1e6)")
+    parser.add_argument("--timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-trial wall-clock cap; an overrunning "
+                             "trial has its worker killed and is "
+                             "requeued with cause 'timeout'")
+    parser.add_argument("--heartbeat-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="kill a worker whose heartbeat goes silent "
+                             "this long and requeue its trial with "
+                             "cause 'heartbeat'")
+    parser.add_argument("--checkpoint", metavar="FILE", default=None,
+                        help="append every classified trial to this "
+                             "checkpoint JSONL (default with --resume: "
+                             "derived from the campaign under "
+                             "RUNS_DIR/checkpoints/)")
+    parser.add_argument("--resume", action="store_true",
+                        help="satisfy trials already in the checkpoint "
+                             "without re-simulation; the campaign digest "
+                             "is bit-identical to a cold run")
+    parser.add_argument("--max-sdc", type=float, default=None,
+                        metavar="RATE",
+                        help="exit 1 if the silent-data-corruption rate "
+                             "exceeds this fraction")
+    parser.add_argument("--exact", action="store_true",
+                        help="cycle-stepped reference mode instead of "
+                             "fast-forward (slow; the campaign digest "
+                             "must not change)")
+    parser.add_argument("--no-blocks", action="store_true",
+                        help="disable the basic-block translation cache")
+    parser.add_argument("--json", action="store_true",
+                        help="emit one JSON line per classified trial "
+                             "plus a final campaign line instead of the "
+                             "table")
+    parser.add_argument("--runs-dir", metavar="DIR", default="runs",
+                        help="run-manifest directory (default: runs/)")
+    parser.add_argument("--no-manifest", action="store_true",
+                        help="skip writing the fault manifest record")
+    args = parser.parse_args(argv)
+    if args.workers < 1:
+        parser.error("--workers must be >= 1")
+    if args.max_sdc is not None and not 0.0 <= args.max_sdc <= 1.0:
+        parser.error("--max-sdc expects a fraction in [0, 1]")
+
+    from repro.farm.checkpoint import checkpoint_path
+    from repro.farm.jobs import JobState
+    from repro.resilience import (build_campaign, campaign_identity,
+                                  run_campaign, write_campaign_manifest)
+
+    specs = build_campaign(
+        args.trials, args.arch, campaign_seed=args.campaign_seed,
+        n_samples=args.samples, n_measurements=args.measurements,
+        seed=args.seed, fast_forward=not args.exact,
+        translation_blocks=not args.no_blocks, watchdog=args.watchdog,
+        max_cycles=args.max_cycles, clock_hz=args.clock_hz)
+    checkpoint = args.checkpoint
+    if checkpoint is None and args.resume:
+        checkpoint = checkpoint_path(args.runs_dir, "faults",
+                                     campaign_identity(specs))
+
+    tty = sys.stdout.isatty()
+
+    def on_trial(job, done, total):
+        if args.json:
+            payload = {"type": "trial", "trial": job.spec.trial,
+                       "state": job.state.value, "attempts": job.attempts,
+                       "resumed": job.resumed, "done": done,
+                       "total": total}
+            if job.retries:
+                payload["retries"] = job.retry_summary()
+            if job.result is not None:
+                payload.update(outcome=job.result.outcome,
+                               fault=list(job.result.fault),
+                               cycles=job.result.cycles,
+                               worker_id=job.result.worker_id,
+                               wall_time_s=job.result.wall_time_s)
+            if job.error is not None:
+                payload["error"] = job.error.strip().splitlines()[-1]
+            _emit_json_line(payload)
+            return
+        outcome = job.result.outcome if job.result is not None \
+            else job.state.value
+        line = (f"faults {done}/{total}  trial {job.spec.trial:>3} "
+                f"{outcome}"
+                + (" (resumed)" if job.resumed else ""))
+        if tty:
+            print(f"\r\x1b[2K{line}", end="", flush=True)
+        else:
+            print(line, flush=True)
+
+    campaign = run_campaign(
+        specs, workers=args.workers, max_retries=args.retries,
+        on_trial=on_trial, job_timeout_s=args.timeout,
+        heartbeat_timeout_s=args.heartbeat_timeout,
+        checkpoint=checkpoint, resume=args.resume)
+    if tty and not args.json:
+        print()
+
+    if not args.no_manifest:
+        write_campaign_manifest(campaign, directory=args.runs_dir)
+
+    sdc_rate = campaign.sdc_rate()
+    if args.json:
+        _emit_json_line({"type": "campaign", "digest": campaign.digest(),
+                         "outcomes": campaign.outcome_counts(),
+                         "sdc_rate": sdc_rate,
+                         "trials": len(campaign.results),
+                         "resumed": campaign.resumed,
+                         "worker_crashes": campaign.crashes,
+                         "worker_timeouts": campaign.timeouts,
+                         "wall_time_s": campaign.wall_time_s})
+    else:
+        print(_faults_summary_table(campaign), flush=True)
+    for job in campaign.failed():
+        error = (job.error or "").strip().splitlines()
+        print(f"trial {job.spec.trial} FAILED after {job.attempts} "
+              f"attempt(s): {error[-1] if error else 'unknown error'}",
+              file=sys.stderr)
+    if any(job.state is JobState.FAILED for job in campaign.jobs) \
+            or not campaign.ok:
+        return 1
+    if args.max_sdc is not None and sdc_rate > args.max_sdc:
+        print(f"SDC rate {sdc_rate:.1%} exceeds --max-sdc "
+              f"{args.max_sdc:.1%}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_regress(argv) -> int:
     parser = argparse.ArgumentParser(
         prog="repro regress",
@@ -836,7 +1112,12 @@ def cmd_regress(argv) -> int:
                              "manifest and passing vacuously)")
     args = parser.parse_args(argv)
 
+    from repro.errors import ConfigurationError
     from repro.obs import run_regression
+    if args.baseline is not None and not (
+            pathlib.Path(args.baseline) / "manifest.jsonl").is_file():
+        raise ConfigurationError(
+            f"baseline manifest not found: {args.baseline}/manifest.jsonl")
     kinds = tuple(kind.strip() for kind in args.kinds.split(",")
                   if kind.strip())
     report = run_regression(args.runs_dir, baseline_dir=args.baseline,
@@ -856,16 +1137,27 @@ _SUBCOMMANDS = {
     "watch": cmd_watch,
     "farm": cmd_farm,
     "dse": cmd_dse,
+    "faults": cmd_faults,
     "regress": cmd_regress,
 }
 
 
 def main(argv=None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
-    if argv and argv[0] in _SUBCOMMANDS:
-        return _SUBCOMMANDS[argv[0]](argv[1:])
-    # Historical interface: bare experiment ids (repro-experiment table1).
-    return cmd_experiment(argv)
+    from repro.errors import ReproError
+    try:
+        if argv and argv[0] in _SUBCOMMANDS:
+            return _SUBCOMMANDS[argv[0]](argv[1:])
+        # Historical interface: bare experiment ids
+        # (repro-experiment table1).
+        return cmd_experiment(argv)
+    except ReproError as exc:
+        # Usage/configuration errors render as one line, never a
+        # traceback; exit 2 matches argparse's own usage-error code so
+        # callers can distinguish "bad invocation" (2) from "a gate
+        # failed" (1).
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -22,6 +22,7 @@ from __future__ import annotations
 import json
 import os
 import pathlib
+import sys
 
 from repro.obs.manifest import _canonical, _digest
 
@@ -61,6 +62,7 @@ class SweepCache:
         self.hits = 0
         self.misses = 0
         self.writes = 0
+        self.skipped = 0  # corrupt lines ignored (interrupted writer)
         self._entries: dict[str, dict] = {}
         if self.path is not None and self.path.is_file():
             for line in self.path.read_text(
@@ -70,6 +72,10 @@ class SweepCache:
                 try:
                     entry = json.loads(line)
                 except json.JSONDecodeError:
+                    # Truncated tail from a killed writer: the append
+                    # is a single os.write, so at most one line is
+                    # affected — skip it, never poison later sweeps.
+                    self.skipped += 1
                     continue
                 if not isinstance(entry, dict) \
                         or entry.get("schema") != CACHE_SCHEMA:
@@ -77,6 +83,10 @@ class SweepCache:
                 key = entry.get("key")
                 if isinstance(key, str) and "record" in entry:
                     self._entries[key] = entry["record"]
+            if self.skipped:
+                print(f"warning: skipped {self.skipped} corrupt cache "
+                      f"line(s) in {self.path} (interrupted writer)",
+                      file=sys.stderr)
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -110,4 +120,5 @@ class SweepCache:
 
     def counters(self) -> dict:
         return {"entries": len(self._entries), "hits": self.hits,
-                "misses": self.misses, "writes": self.writes}
+                "misses": self.misses, "writes": self.writes,
+                "skipped": self.skipped}

@@ -26,6 +26,29 @@ class SimulationError(ReproError):
     """The simulated machine reached an illegal state (bad address, ...)."""
 
 
+class CycleLimitError(SimulationError):
+    """A run exhausted its ``max_cycles`` budget without finishing.
+
+    Subclassed from :class:`SimulationError` so existing callers keep
+    working; the fault-injection classifier distinguishes it (a budget
+    exhaustion is a *hang* outcome, not a *detected* trap).
+    """
+
+
+class HangError(SimulationError):
+    """The sync watchdog tripped: no core retired within the bounded
+    cycle window (fault-injection runs only)."""
+
+
+class TrapError(SimulationError):
+    """A core fetched an undecodable instruction word (decode trap).
+
+    Raised when fault injection corrupts instruction memory into a word
+    the decoder rejects; the platform's hardware analogue is an illegal
+    -instruction trap, so the outcome classifier files it *detected*.
+    """
+
+
 class ConfigurationError(ReproError):
     """A platform / memory-layout configuration is inconsistent."""
 

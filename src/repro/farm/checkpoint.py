@@ -1,0 +1,95 @@
+"""Atomic checkpoint JSONL for resumable farm/campaign invocations.
+
+Every completed job appends one record keyed by the sha256 of its
+canonicalised spec, so an interrupted invocation (SIGKILL, OOM, power
+loss) resumes with zero recomputation: on ``--resume`` the runner loads
+the checkpoint, synthesises completed jobs for every spec already
+recorded, and only submits the remainder.  Because results are pure
+functions of their specs, a resumed fleet digest is bit-identical to a
+cold one.
+
+Appends use the same single-``os.write`` O_APPEND discipline as the
+manifest writer, so concurrent appenders interleave whole lines and a
+killed writer can corrupt at most the final line.  The loader tolerates
+exactly that: a truncated/corrupt trailing line is skipped with a
+counted warning, never an exception.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from pathlib import Path
+
+from repro.obs.manifest import _canonical, _digest
+
+CHECKPOINT_SCHEMA = "repro-checkpoint/1"
+
+
+def spec_key(spec) -> str:
+    """Stable identity of one job spec (canonical-JSON sha256)."""
+    return _digest(spec)
+
+
+def checkpoint_path(runs_dir, kind: str, identity) -> Path:
+    """Default checkpoint location for an invocation.
+
+    ``identity`` is the invocation's identity dict (plan or campaign);
+    the digest in the filename keeps different plans from sharing a
+    checkpoint while reruns of the same plan find theirs again.
+    """
+    return Path(runs_dir) / "checkpoints" / \
+        f"{kind}-{_digest(identity)[:12]}.jsonl"
+
+
+class Checkpoint:
+    """One append-only checkpoint file."""
+
+    def __init__(self, path):
+        self.path = Path(path)
+        self.skipped = 0  # corrupt/truncated lines ignored by load()
+
+    def load(self) -> dict:
+        """``spec_key -> payload`` for every intact record.
+
+        Later records win (a job checkpointed twice — e.g. by a retry
+        racing a kill — resolves to its final result).  Corrupt lines
+        (truncated tail from a killed writer) are skipped with a
+        counted warning on stderr.
+        """
+        results: dict[str, dict] = {}
+        self.skipped = 0
+        if not self.path.exists():
+            return results
+        for line in self.path.read_text().splitlines():
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+                key = record["spec_key"]
+                payload = record["payload"]
+            except (json.JSONDecodeError, KeyError, TypeError):
+                self.skipped += 1
+                continue
+            results[key] = payload
+        if self.skipped:
+            print(f"warning: skipped {self.skipped} corrupt checkpoint "
+                  f"line(s) in {self.path} (interrupted writer)",
+                  file=sys.stderr)
+        return results
+
+    def append(self, key: str, payload) -> None:
+        """Durably append one completed-job record (atomic line)."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        line = json.dumps({
+            "schema": CHECKPOINT_SCHEMA,
+            "spec_key": key,
+            "payload": _canonical(payload),
+        }, sort_keys=True) + "\n"
+        fd = os.open(self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND,
+                     0o644)
+        try:
+            os.write(fd, line.encode("utf-8"))
+        finally:
+            os.close(fd)

@@ -23,11 +23,13 @@ exactly like any other run kind.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 from repro.errors import ConfigurationError
+from repro.farm.checkpoint import Checkpoint, spec_key
 from repro.farm.jobs import FarmJob, FarmJobSpec, FarmScheduler, JobState, \
     shard_seed
+from repro.farm.worker import JobResult
 from repro.obs.manifest import manifest_record, stats_digest, write_manifest
 from repro.obs.telemetry import TELEMETRY_SCHEMA, merge_window_lists, \
     percentile, summaries_digest
@@ -117,6 +119,8 @@ class FleetResult:
     wall_time_s: float
     warm_reports: list[dict] = field(default_factory=list)
     crashes: int = 0
+    timeouts: int = 0              # workers killed (timeout/heartbeat)
+    resumed: int = 0               # shards satisfied from the checkpoint
 
     # -- views -------------------------------------------------------------
 
@@ -163,12 +167,20 @@ class FleetResult:
         hits = cache.get("block_hits", 0) + cache.get("program_hits", 0)
         misses_cache = cache.get("block_misses", 0) \
             + cache.get("program_misses", 0)
+        retried = [job for job in self.jobs if job.retries]
         summary = {
             "runs": len(self.jobs),
             "completed": len(results),
             "failed": len(self.failed()),
             "cancelled": len(self.cancelled()),
             "worker_crashes": self.crashes,
+            "worker_timeouts": self.timeouts,
+            "resumed_from_checkpoint": self.resumed,
+            "retried_jobs": len(retried),
+            "retries": {
+                f"shard{job.spec.shard_index:03d}": job.retry_summary()
+                for job in retried
+            },
             "workers": self.workers,
             "warm": self.warm,
             "wall_time_s": self.wall_time_s,
@@ -235,36 +247,77 @@ def run_farm(plan, workers: int = 2, *,
              base_seed: int = DEFAULT_BASE_SEED,
              max_retries: int = 1, warm: bool = True,
              fail_fast: bool = False, on_job=None,
-             start_method: str | None = None) -> FleetResult:
+             start_method: str | None = None,
+             job_timeout_s: float | None = None,
+             heartbeat_timeout_s: float | None = None,
+             checkpoint=None, resume: bool = False) -> FleetResult:
     """Execute ``plan`` on a worker pool and aggregate the fleet.
 
     ``on_job`` fires with ``(job, done, total)`` as each job reaches a
     terminal state (progress reporting).  The returned
     :class:`FleetResult` is independent of ``workers`` in every
     simulated bit — only the wall-clock fields differ.
+
+    ``checkpoint`` (a path) appends every completed shard to an atomic
+    checkpoint JSONL; with ``resume=True`` shards already recorded
+    there are satisfied without simulation (``resumed`` jobs) and only
+    the remainder is submitted — results are pure functions of their
+    specs, so the fleet digest is bit-identical either way.
     """
     plan = list(plan)
     if not plan:
         raise ConfigurationError("empty farm plan")
     started = time.perf_counter()
+    store = Checkpoint(checkpoint) if checkpoint is not None else None
+    prior = store.load() if store is not None and resume else {}
+    resumed_jobs: list[FarmJob] = []
+    todo: list[FarmJobSpec] = []
+    for index, spec in enumerate(plan):
+        payload = prior.get(spec_key(spec))
+        if payload is not None:
+            resumed_jobs.append(FarmJob(
+                job_id=-(index + 1), spec=spec, state=JobState.DONE,
+                result=JobResult.from_dict(payload), resumed=True))
+        else:
+            todo.append(spec)
+
     done_count = [0]
-    with FarmScheduler(workers=workers, max_retries=max_retries,
-                       warm=warm, fail_fast=fail_fast,
-                       start_method=start_method) as scheduler:
+
+    def _notify(job, total=len(plan)):
+        done_count[0] += 1
+        if job.state is JobState.DONE and store is not None \
+                and not job.resumed:
+            store.append(spec_key(job.spec), asdict(job.result))
         if on_job is not None:
-            def _notify(job, total=len(plan)):
-                done_count[0] += 1
-                on_job(job, done_count[0], total)
+            on_job(job, done_count[0], total)
+
+    for job in resumed_jobs:
+        _notify(job)
+
+    jobs: list[FarmJob] = []
+    warm_reports: list[dict] = []
+    crashes = timeouts = 0
+    if todo:  # a fully-resumed fleet never spawns a worker
+        with FarmScheduler(workers=workers, max_retries=max_retries,
+                           warm=warm, fail_fast=fail_fast,
+                           start_method=start_method,
+                           job_timeout_s=job_timeout_s,
+                           heartbeat_timeout_s=heartbeat_timeout_s) \
+                as scheduler:
             scheduler.listeners.append(_notify)
-        for spec in plan:
-            scheduler.submit(spec)
-        jobs = scheduler.run_until_complete()
-        warm_reports = scheduler.warm_reports()
-        crashes = scheduler.crashes
+            for spec in todo:
+                scheduler.submit(spec)
+            jobs = scheduler.run_until_complete()
+            warm_reports = scheduler.warm_reports()
+            crashes = scheduler.crashes
+            timeouts = scheduler.timeouts
+    all_jobs = sorted(resumed_jobs + jobs,
+                      key=lambda job: job.spec.shard_index)
     return FleetResult(
-        jobs=jobs, plan=plan, base_seed=base_seed, workers=workers,
+        jobs=all_jobs, plan=plan, base_seed=base_seed, workers=workers,
         warm=warm, wall_time_s=time.perf_counter() - started,
-        warm_reports=warm_reports, crashes=crashes)
+        warm_reports=warm_reports, crashes=crashes, timeouts=timeouts,
+        resumed=len(resumed_jobs))
 
 
 def write_fleet_manifests(fleet: FleetResult, directory=None) -> None:
@@ -274,8 +327,10 @@ def write_fleet_manifests(fleet: FleetResult, directory=None) -> None:
     geometry = f"{identity['n_samples']}x{identity['n_measurements']}" \
                f"x{identity['n_blocks']}-w{identity['window_cycles']}"
     benchmark = None
+    by_shard = {job.spec.shard_index: job for job in fleet.jobs}
     for result in fleet.completed():
         benchmark = result.benchmark
+        job = by_shard.get(result.shard_index)
         write_manifest(manifest_record(
             "farm",
             f"{result.benchmark}-{geometry}-shard{result.shard_index:03d}"
@@ -304,6 +359,10 @@ def write_fleet_manifests(fleet: FleetResult, directory=None) -> None:
                 "cache_hit_rate": result.cache_hit_rate,
                 "fast_forward": identity["fast_forward"],
                 "translation_blocks": identity["translation_blocks"],
+                "attempts": job.attempts if job is not None else None,
+                "resumed": job.resumed if job is not None else False,
+                "retries": job.retry_summary()["retries"]
+                if job is not None and job.retries else [],
             },
         ), directory=directory)
     write_manifest(manifest_record(

@@ -43,6 +43,13 @@ from repro.errors import ConfigurationError
 #: terminally (a deterministic crasher would otherwise loop forever).
 DEFAULT_MAX_RETRIES = 1
 
+#: How often workers report liveness (seconds).
+DEFAULT_HEARTBEAT_INTERVAL = 0.1
+
+#: Base of the exponential requeue backoff: attempt ``k`` waits
+#: ``base * 2**(k-1)`` seconds before redispatch.
+DEFAULT_BACKOFF_BASE = 0.25
+
 
 def shard_seed(base_seed: int, shard_index: int) -> int:
     """Deterministic per-shard workload seed.
@@ -101,17 +108,35 @@ class FarmJob:
     error: str | None = None
     submitted_at: float = field(default_factory=time.monotonic)
     finished_at: float | None = None
+    #: One entry per requeue: {attempt, cause, error, backoff_s}.
+    #: ``cause`` is "crash" (worker died), "timeout" (wall-clock cap),
+    #: "heartbeat" (worker stopped beating) or "error" (in-worker
+    #: exception) — the distinction the manifest records surface.
+    retries: list = field(default_factory=list)
+    not_before: float = 0.0        # backoff: earliest redispatch time
+    resumed: bool = False          # satisfied from a checkpoint
 
     @property
     def terminal(self) -> bool:
         return self.state in (JobState.DONE, JobState.FAILED,
                               JobState.CANCELLED)
 
+    def retry_summary(self) -> dict:
+        """Requeue accounting for manifests and progress streams."""
+        return {
+            "attempts": self.attempts,
+            "retries": [dict(entry) for entry in self.retries],
+            "causes": sorted({entry["cause"] for entry in self.retries}),
+            "backoff_schedule_s": [entry["backoff_s"]
+                                   for entry in self.retries],
+        }
+
 
 class _Worker:
     """One pool member: process + its private job pipe."""
 
-    def __init__(self, ctx, worker_id: int, result_queue, warm: bool):
+    def __init__(self, ctx, worker_id: int, result_queue, warm: bool,
+                 heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL):
         from repro.farm.worker import worker_main
         self.worker_id = worker_id
         parent_conn, child_conn = ctx.Pipe()
@@ -119,9 +144,12 @@ class _Worker:
         self.job: FarmJob | None = None
         self.ready = False
         self.warm_info: dict | None = None
+        self.job_started: float | None = None
+        self.last_beat = time.monotonic()
         self.process = ctx.Process(
             target=worker_main,
-            args=(worker_id, child_conn, result_queue, warm),
+            args=(worker_id, child_conn, result_queue, warm,
+                  heartbeat_interval),
             daemon=True)
         self.process.start()
         child_conn.close()
@@ -131,6 +159,16 @@ class _Worker:
 
     def alive(self) -> bool:
         return self.process.is_alive()
+
+    def kill(self) -> None:
+        """Hard-stop a hung worker (SIGKILL; it holds no locks we
+        need — results travel through the queue, manifests are written
+        by the scheduler process only)."""
+        try:
+            self.process.kill()
+        except (OSError, AttributeError):  # pragma: no cover
+            self.process.terminate()
+        self.process.join(1.0)
 
     def close(self) -> None:
         try:
@@ -157,11 +195,19 @@ class FarmScheduler:
     def __init__(self, workers: int = 2,
                  max_retries: int = DEFAULT_MAX_RETRIES,
                  warm: bool = True, fail_fast: bool = False,
-                 start_method: str | None = None):
+                 start_method: str | None = None,
+                 job_timeout_s: float | None = None,
+                 heartbeat_timeout_s: float | None = None,
+                 heartbeat_interval_s: float = DEFAULT_HEARTBEAT_INTERVAL,
+                 backoff_base_s: float = DEFAULT_BACKOFF_BASE):
         if workers < 1:
             raise ConfigurationError("need at least one worker")
         if max_retries < 0:
             raise ConfigurationError("max_retries must be >= 0")
+        if job_timeout_s is not None and job_timeout_s <= 0:
+            raise ConfigurationError("job_timeout_s must be positive")
+        if heartbeat_timeout_s is not None and heartbeat_timeout_s <= 0:
+            raise ConfigurationError("heartbeat_timeout_s must be positive")
         methods = multiprocessing.get_all_start_methods()
         if start_method is None:
             # fork inherits the parent's warm caches for free; fall
@@ -177,16 +223,24 @@ class FarmScheduler:
         self.max_retries = max_retries
         self.warm = warm
         self.fail_fast = fail_fast
+        self.job_timeout_s = job_timeout_s
+        self.heartbeat_timeout_s = heartbeat_timeout_s
+        self.heartbeat_interval_s = heartbeat_interval_s
+        self.backoff_base_s = backoff_base_s
         self.jobs: dict[int, FarmJob] = {}
         self.listeners: list = []      # called with each terminal FarmJob
         self.crashes = 0               # workers lost mid-job
+        self.timeouts = 0              # workers killed (timeout/heartbeat)
         self._pending: list[int] = []  # job ids awaiting dispatch
         self._next_id = 0
         self._results = self._ctx.Queue()
-        self._workers = [_Worker(self._ctx, i, self._results, warm)
-                         for i in range(workers)]
+        self._workers = [self._spawn(i) for i in range(workers)]
         self._next_worker_id = workers
         self._closed = False
+
+    def _spawn(self, worker_id: int) -> _Worker:
+        return _Worker(self._ctx, worker_id, self._results, self.warm,
+                       self.heartbeat_interval_s)
 
     # -- submission --------------------------------------------------------
 
@@ -229,6 +283,7 @@ class FarmScheduler:
         """
         self._dispatch()
         finished = self._drain(timeout)
+        finished.extend(self._check_health())
         finished.extend(self._reap_crashes())
         if self.fail_fast and any(job.state is JobState.FAILED
                                   for job in finished):
@@ -253,20 +308,34 @@ class FarmScheduler:
     # -- internals ---------------------------------------------------------
 
     def _dispatch(self) -> None:
+        now = time.monotonic()
         for worker in self._workers:
             if not self._pending:
                 return
             if worker.job is not None or not worker.alive():
                 continue
-            job = self.jobs[self._pending.pop(0)]
+            # First pending job past its backoff window (submission
+            # order otherwise preserved).
+            job = None
+            for index, job_id in enumerate(self._pending):
+                candidate = self.jobs[job_id]
+                if candidate.not_before <= now:
+                    job = candidate
+                    del self._pending[index]
+                    break
+            if job is None:
+                return  # everything pending is still backing off
             job.state = JobState.RUNNING
             job.worker_id = worker.worker_id
             job.attempts += 1
             worker.job = job
+            worker.job_started = now
+            worker.last_beat = now
             try:
-                worker.send((job.job_id, job.spec))
+                worker.send((job.job_id, job.spec, job.attempts))
             except (OSError, BrokenPipeError):
                 worker.job = None
+                worker.job_started = None
                 self._handle_crash(worker, job)
 
     def _drain(self, timeout: float) -> list[FarmJob]:
@@ -292,18 +361,23 @@ class FarmScheduler:
                 worker.ready = True
                 worker.warm_info = payload
             return []
+        if kind == "beat":
+            if worker is not None:
+                worker.last_beat = time.monotonic()
+            return []
         job_id, body = payload
         job = self.jobs.get(job_id)
         if job is None or job.terminal:
             return []
         if worker is not None and worker.job is job:
             worker.job = None
+            worker.job_started = None
         if kind == "done":
             job.result = body
             self._finish(job, JobState.DONE)
         else:  # "failed": in-worker exception — retry like a crash
             job.error = body
-            if not self._requeue(job):
+            if not self._requeue(job, "error"):
                 self._finish(job, JobState.FAILED)
         return [job] if job.terminal else []
 
@@ -313,6 +387,47 @@ class FarmScheduler:
                 return worker
         return None
 
+    def _check_health(self) -> list[FarmJob]:
+        """Kill workers whose job overran its wall-clock cap or whose
+        heartbeat went silent; the job requeues with the cause
+        attributed ("timeout" vs "heartbeat" vs plain "crash")."""
+        if self.job_timeout_s is None and self.heartbeat_timeout_s is None:
+            return []
+        finished = []
+        now = time.monotonic()
+        for index, worker in enumerate(self._workers):
+            job = worker.job
+            if job is None or not worker.alive():
+                continue
+            cause = None
+            if self.job_timeout_s is not None \
+                    and worker.job_started is not None \
+                    and now - worker.job_started >= self.job_timeout_s:
+                cause = "timeout"
+                detail = (f"job {job.job_id} exceeded its "
+                          f"{self.job_timeout_s:g}s wall-clock budget on "
+                          f"worker {worker.worker_id}")
+            elif self.heartbeat_timeout_s is not None \
+                    and now - worker.last_beat >= self.heartbeat_timeout_s:
+                cause = "heartbeat"
+                detail = (f"worker {worker.worker_id} sent no heartbeat "
+                          f"for {self.heartbeat_timeout_s:g}s while "
+                          f"running job {job.job_id}")
+            if cause is None:
+                continue
+            self.timeouts += 1
+            worker.job = None
+            worker.job_started = None
+            worker.kill()
+            worker.close()
+            self._workers[index] = self._spawn(self._next_worker_id)
+            self._next_worker_id += 1
+            job.error = detail
+            if not self._requeue(job, cause):
+                self._finish(job, JobState.FAILED)
+                finished.append(job)
+        return finished
+
     def _reap_crashes(self) -> list[FarmJob]:
         finished = []
         for index, worker in enumerate(self._workers):
@@ -320,8 +435,7 @@ class FarmScheduler:
                 continue
             job, worker.job = worker.job, None
             worker.close()
-            self._workers[index] = _Worker(
-                self._ctx, self._next_worker_id, self._results, self.warm)
+            self._workers[index] = self._spawn(self._next_worker_id)
             self._next_worker_id += 1
             if job is not None and not job.terminal:
                 self.crashes += 1
@@ -331,16 +445,24 @@ class FarmScheduler:
     def _handle_crash(self, worker, job: FarmJob) -> list[FarmJob]:
         job.error = job.error or \
             f"worker {job.worker_id} died while running job {job.job_id}"
-        if self._requeue(job):
+        if self._requeue(job, "crash"):
             return []
         self._finish(job, JobState.FAILED)
         return [job]
 
-    def _requeue(self, job: FarmJob) -> bool:
+    def _requeue(self, job: FarmJob, cause: str) -> bool:
+        backoff = self.backoff_base_s * (2 ** (job.attempts - 1))
+        job.retries.append({
+            "attempt": job.attempts,
+            "cause": cause,
+            "error": job.error,
+            "backoff_s": backoff,
+        })
         if job.attempts > self.max_retries:
             return False
         job.state = JobState.PENDING
         job.worker_id = None
+        job.not_before = time.monotonic() + backoff
         self._pending.append(job.job_id)
         return True
 

@@ -28,9 +28,10 @@ which is the single manifest writer.
 from __future__ import annotations
 
 import os
+import threading
 import time
 import traceback
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 
 from repro.obs.manifest import _canonical, stats_digest
 
@@ -76,6 +77,18 @@ class JobResult:
             + self.cache_stats.get("program_misses", 0)
         total = hits + misses
         return hits / total if total else None
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "JobResult":
+        """Rebuild from a checkpoint record (JSON turned the tuple
+        fields into lists; everything identity-bearing survives the
+        round trip bit-for-bit)."""
+        known = {f.name for f in fields(cls)}
+        data = {key: value for key, value in payload.items()
+                if key in known}
+        data["windows"] = tuple(data.get("windows") or ())
+        data["block_cycles"] = tuple(data.get("block_cycles") or ())
+        return cls(**data)
 
 
 def clear_caches() -> None:
@@ -201,7 +214,8 @@ def execute_job(job_id: int, spec, worker_id: int = 0) -> JobResult:
     )
 
 
-def worker_main(worker_id: int, conn, result_queue, warm: bool) -> None:
+def worker_main(worker_id: int, conn, result_queue, warm: bool,
+                heartbeat_interval: float = 0.1) -> None:
     """Process entry point: warm, then serve jobs until the ``None``
     sentinel (or a closed pipe) arrives.
 
@@ -210,8 +224,28 @@ def worker_main(worker_id: int, conn, result_queue, warm: bool) -> None:
     that instead of the default patient-stream job, and a spec with
     ``farm_warm = False`` skips the ECG warm-up run — its geometry
     would not benefit from warming the default program image.
+
+    A daemon sidecar thread posts ``("beat", worker_id, job_id)`` while
+    a job runs.  Pure-Python hangs keep beating (the GIL still yields),
+    so the scheduler catches them with the job wall-clock timeout; a
+    wedged interpreter (or a deliberately silenced sidecar) stops
+    beating and trips the heartbeat timeout instead.
     """
     warm_info = {"worker_id": worker_id, "warm": warm}
+    beat_state = {"job": None, "stop": False}
+
+    def _beat():
+        while not beat_state["stop"]:
+            time.sleep(heartbeat_interval)
+            job = beat_state["job"]
+            if job is None:
+                continue
+            try:
+                result_queue.put(("beat", worker_id, job))
+            except Exception:  # queue torn down: scheduler is gone
+                return
+
+    threading.Thread(target=_beat, daemon=True).start()
     try:
         jobs_seen = 0
         while True:
@@ -221,7 +255,8 @@ def worker_main(worker_id: int, conn, result_queue, warm: bool) -> None:
                 return
             if message is None:
                 return
-            job_id, spec = message
+            job_id, spec, attempt = message
+            beat_state["job"] = job_id  # beat through warm-up too
             if jobs_seen == 0:
                 if warm and getattr(spec, "farm_warm", True):
                     warm_info.update(warm_worker(spec))
@@ -229,6 +264,18 @@ def worker_main(worker_id: int, conn, result_queue, warm: bool) -> None:
             jobs_seen += 1
             if not warm:
                 clear_caches()
+            # Hang-injection test hooks, first attempt only so the
+            # requeued retry completes: "hang" spins while beating
+            # (caught by the job timeout), "wedge" mutes the sidecar
+            # and stalls (caught by the heartbeat timeout).
+            fault = getattr(spec, "fault", None)
+            if fault == "hang" and attempt <= 1:
+                while True:
+                    time.sleep(heartbeat_interval)
+                    result_queue.put(("beat", worker_id, job_id))
+            if fault == "wedge" and attempt <= 1:
+                beat_state["job"] = None
+                time.sleep(3600)
             try:
                 runner = getattr(spec, "run_in_worker", None)
                 if runner is not None:
@@ -239,8 +286,11 @@ def worker_main(worker_id: int, conn, result_queue, warm: bool) -> None:
                 result_queue.put(("failed", worker_id,
                                   (job_id, traceback.format_exc())))
                 continue
+            finally:
+                beat_state["job"] = None
             result_queue.put(("done", worker_id, (job_id, result)))
     finally:
+        beat_state["stop"] = True
         try:
             conn.close()
         except OSError:

@@ -49,6 +49,7 @@ import json
 import os
 import pathlib
 import subprocess
+import sys
 import time
 
 #: Default manifest location, relative to the current working directory.
@@ -218,11 +219,28 @@ def write_manifest(record: dict, directory=None) -> pathlib.Path:
 
 
 def read_manifests(directory=None) -> list[dict]:
-    """All records in a manifest file (empty list if absent)."""
+    """All intact records in a manifest file (empty list if absent).
+
+    A writer killed mid-append (SIGKILL, power loss) can leave at most
+    one truncated trailing line — the append is a single ``os.write``.
+    Such corrupt lines are skipped with a counted warning rather than
+    raised, so a crashed run never poisons later reads.
+    """
     directory = pathlib.Path(directory if directory is not None
                              else DEFAULT_DIRECTORY)
     path = directory / MANIFEST_NAME
     if not path.is_file():
         return []
-    return [json.loads(line) for line
-            in path.read_text(encoding="utf-8").splitlines() if line.strip()]
+    records = []
+    skipped = 0
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if not line.strip():
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError:
+            skipped += 1
+    if skipped:
+        print(f"warning: skipped {skipped} corrupt manifest line(s) in "
+              f"{path} (interrupted writer)", file=sys.stderr)
+    return records

@@ -46,9 +46,12 @@ from repro.obs.manifest import (DEFAULT_DIRECTORY, MANIFEST_NAME,
 #: other run.  ``dse`` records digest the Pareto-front payload (points,
 #: metrics, escalated cycle counts — never wall times or cache
 #: counters), so a drifted front or fidelity number gates exactly like
-#: a drifted simulation.
+#: a drifted simulation.  ``fault`` records digest the per-trial
+#: outcome rows of a fault-injection campaign; their identity excludes
+#: the execution engine, so regress enforces campaign determinism
+#: across exact/fast-forward runs, worker counts and resume state.
 DEFAULT_KINDS = ("experiment", "trace", "profile", "farm", "fleet",
-                 "dse")
+                 "dse", "fault")
 
 #: ``stats_summary`` fields shown with before/after values when a group
 #: drifts, in display order.

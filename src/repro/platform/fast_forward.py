@@ -42,7 +42,7 @@ freely.
 
 from __future__ import annotations
 
-from repro.errors import SimulationError
+from repro.errors import CycleLimitError, SimulationError
 from repro.memory.layout import IMOrganization, PRIVATE_BASE
 from repro.tamarisc import blocks as tblocks
 
@@ -352,7 +352,7 @@ class FastForwardEngine:
         }
 
     def advance(self, running, attempts, core_stats, cycle, sync_cycles,
-                max_cycles):
+                max_cycles, barrier=None):
         """Commit conflict-free cycles until a potential conflict or halt.
 
         Preconditions: every core in ``running`` sits at an instruction
@@ -361,6 +361,11 @@ class FastForwardEngine:
         MMU accounting already applied, as ``_new_attempt`` would) and
         the caller's exact loop replays the cycle through the crossbars.
         Returns the updated ``(cycle, sync_cycles)``.
+
+        ``barrier`` (when not None) is a cycle the engine must not
+        commit past: the call returns exactly at ``cycle >= barrier``
+        with every core at an instruction boundary, so the caller can
+        mutate architectural state (fault injection) and re-enter.
         """
         system = self.system
         cores = system.cores
@@ -485,10 +490,14 @@ class FastForwardEngine:
 
         run_list = sorted(running)
         run_cores = [cores[pid] for pid in run_list]
+        limit = max_cycles if barrier is None \
+            else (barrier if barrier < max_cycles else max_cycles)
         try:
             while run_list:
+                if barrier is not None and cycle >= barrier:
+                    return cycle, sync_cycles
                 if cycle >= max_cycles:
-                    raise SimulationError(
+                    raise CycleLimitError(
                         f"benchmark {system.benchmark.name!r} did not "
                         f"finish within {max_cycles} cycles on "
                         f"{system.config.name}")
@@ -525,12 +534,12 @@ class FastForwardEngine:
                         trace_skip = -1
                         trec = trace_recs.get(first_pc)
                         if trec is not None \
-                                and cycle + trec[1] <= max_cycles:
+                                and cycle + trec[1] <= limit:
                             self.trace_entries += 1
                             trec[4] += 1
                             j = trec[0](run_cores, mmu_t, mmu_p, mmu_s,
                                         dlast, dtrans, bacc,
-                                        max_cycles - cycle)
+                                        limit - cycle)
                             if j:
                                 cycle += j
                                 self.fast_cycles += j
@@ -599,7 +608,7 @@ class FastForwardEngine:
                         if rec is _UNSET:
                             rec = self._block_record(first_pc)
                         if rec is not None \
-                                and cycle + rec[1] <= max_cycles \
+                                and cycle + rec[1] <= limit \
                                 and (not p_win
                                      or cycle % win + rec[1] <= win):
                             # rec = (block, total, run_fast, run_obs,
@@ -628,7 +637,7 @@ class FastForwardEngine:
                                     j = rec[2](run_cores, mmu_t, mmu_p,
                                                mmu_s, dlast, dtrans,
                                                bacc,
-                                               max_cycles - cycle)
+                                               limit - cycle)
                             except SimulationError as exc:
                                 # Address fault at block offset
                                 # bacc[6]: the generated code already

@@ -25,7 +25,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.errors import ConfigurationError, SimulationError
+from repro.errors import (ConfigurationError, CycleLimitError, HangError,
+                          SimulationError)
 from repro.interconnect.xbar import Crossbar, Request
 from repro.memory.banked_memory import BankedMemory
 from repro.memory.layout import IMOrganization
@@ -313,8 +314,16 @@ class MultiCoreSystem:
     # -- simulation --------------------------------------------------------------------
 
     def run(self, benchmark: Benchmark | None = None,
-            max_cycles: int = 20_000_000) -> SimulationResult:
-        """Run until every core executed HLT (or ``max_cycles`` elapse)."""
+            max_cycles: int = 20_000_000, faults=None) -> SimulationResult:
+        """Run until every core executed HLT (or ``max_cycles`` elapse).
+
+        ``faults`` (a :class:`repro.resilience.faults.FaultSession`)
+        injects architectural faults at chosen cycles.  The injection
+        points sit between cycles — the fast-forward engine is given
+        the next fault cycle as a barrier, so both execution modes
+        mutate the same architectural state at the same boundary and
+        the bit-identity contract survives injection.
+        """
         if benchmark is not None:
             self.load(benchmark)
         if self.benchmark is None:
@@ -424,8 +433,32 @@ class MultiCoreSystem:
 
         cycle = 0
         sync_cycles = 0
+        # Fault-injection hooks: ``fault_next`` is the next cycle an
+        # injection is due (a barrier for the fast-forward engine),
+        # ``stuck`` the live set of clock-stuck cores, ``watchdog`` the
+        # hang window (cycles without a single commit fleet-wide).
+        fault_next = faults.next_cycle if faults is not None else None
+        stuck = faults.stuck_cores if faults is not None else None
+        watchdog = faults.watchdog_window if faults is not None else 0
+        last_progress = 0
         try:
             while running:
+                if fault_next is not None and cycle >= fault_next:
+                    faults.apply_due(self, cycle)
+                    fault_next = faults.next_cycle
+                    # Injection may have swapped the program image or
+                    # disabled the engine; refresh the hoisted locals.
+                    engine = self._ff_engine
+                    decoded = self.decoded
+                    program_len = len(decoded)
+                    for pid in sorted(faults.dead_cores):
+                        if pid in running:
+                            core_stats[pid].halted_at = cycle
+                            attempts[pid] = _Attempt()
+                            running.discard(pid)
+                    last_progress = cycle
+                    if not running:
+                        break
                 if engine is not None:
                     # The engine needs every running core at an instruction
                     # boundary (no latched partial grants); mid-stall cycles
@@ -436,11 +469,14 @@ class MultiCoreSystem:
                     else:
                         cycle, sync_cycles = engine.advance(
                             running, attempts, core_stats, cycle,
-                            sync_cycles, max_cycles)
+                            sync_cycles, max_cycles, fault_next)
+                        last_progress = cycle
                         if not running:
                             break
+                        if fault_next is not None and cycle >= fault_next:
+                            continue  # inject at the boundary, re-enter
                 if cycle >= max_cycles:
-                    raise SimulationError(
+                    raise CycleLimitError(
                         f"benchmark {self.benchmark.name!r} did not finish "
                         f"within {max_cycles} cycles on {self.config.name}")
                 cycle += 1
@@ -467,6 +503,12 @@ class MultiCoreSystem:
                 dm_requests = []
                 fetch_pcs = set()
                 for pid in running:
+                    if stuck and pid in stuck:
+                        # Clock-stuck: the core holds its state, issues
+                        # nothing, and stalls (never a lockstep member).
+                        core_stats[pid].stall_cycles += 1
+                        fetch_pcs.add(None)
+                        continue
                     core = cores[pid]
                     attempt = attempts[pid]
                     if attempt.instr is None:
@@ -496,6 +538,8 @@ class MultiCoreSystem:
 
                 halted_now = []
                 for pid in running:
+                    if stuck and pid in stuck:
+                        continue
                     attempt = attempts[pid]
                     if attempt.need_if and (pid, False) in granted_im:
                         attempt.need_if = False
@@ -519,11 +563,16 @@ class MultiCoreSystem:
                             bus.emit("core.retire", cycle - 1, pid,
                                      attempt.fetch_pc)
                     self._commit(cores[pid], attempt, dm_banks)
+                    last_progress = cycle
                     if cores[pid].halted:
                         core_stats[pid].halted_at = cycle
                         halted_now.append(pid)
                 for pid in halted_now:
                     running.discard(pid)
+                if watchdog and cycle - last_progress >= watchdog:
+                    raise HangError(
+                        f"sync watchdog: no core retired for {watchdog} "
+                        f"cycles (cycle {cycle}) on {self.config.name}")
                 if p_win and not cycle % win:
                     bus.flush()
                     bus.emit("telemetry.window", cycle, False, sync_cycles,

@@ -1,0 +1,40 @@
+"""Resilience: deterministic fault injection and graceful degradation.
+
+Two coupled halves: a seeded fault model perturbing the simulated
+platform (:mod:`repro.resilience.faults`) and campaign orchestration
+over the hang-proof farm scheduler
+(:mod:`repro.resilience.campaign`).
+"""
+
+from repro.resilience.campaign import (OUTCOMES, CampaignResult,
+                                       FaultTrialResult,
+                                       FaultTrialSpec, build_campaign,
+                                       campaign_digest, campaign_identity,
+                                       execute_trial, golden_run,
+                                       measure_degradation, run_campaign,
+                                       write_campaign_manifest)
+from repro.resilience.faults import (FaultPlan, FaultSession, FaultSpec,
+                                     TrapInstruction, build_plan,
+                                     draw_fault, trial_seed)
+
+__all__ = [
+    "OUTCOMES",
+    "CampaignResult",
+    "FaultPlan",
+    "FaultSession",
+    "FaultSpec",
+    "FaultTrialResult",
+    "FaultTrialSpec",
+    "TrapInstruction",
+    "build_campaign",
+    "build_plan",
+    "campaign_digest",
+    "campaign_identity",
+    "draw_fault",
+    "execute_trial",
+    "golden_run",
+    "measure_degradation",
+    "run_campaign",
+    "trial_seed",
+    "write_campaign_manifest",
+]

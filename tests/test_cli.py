@@ -258,3 +258,86 @@ class TestFarm:
             main(["farm", "--runs", "0"])
         with pytest.raises(SystemExit):
             main(["farm", "--workers", "0"])
+
+
+class TestFaults:
+    ARGS = ["faults", "--trials", "4", "--workers", "2",
+            "--samples", "64", "--measurements", "32"]
+
+    def test_json_stream_manifest_and_resume(self, tmp_path, capsys):
+        """Cold campaign writes its manifest record; --resume reruns
+        recompute nothing and reproduce the digest bit-for-bit."""
+        args = self.ARGS + ["--json", "--resume",
+                            "--runs-dir", str(tmp_path)]
+        assert main(args) == 0
+        lines = [json.loads(line) for line in
+                 capsys.readouterr().out.splitlines()
+                 if line.startswith("{")]
+        trials = [line for line in lines if line["type"] == "trial"]
+        campaigns = [line for line in lines
+                     if line["type"] == "campaign"]
+        assert len(trials) == 4 and len(campaigns) == 1
+        assert all(trial["state"] == "done" for trial in trials)
+        assert sorted(trial["trial"] for trial in trials) == [0, 1, 2, 3]
+        cold = campaigns[0]
+        assert cold["resumed"] == 0
+        assert sum(cold["outcomes"].values()) == 4
+
+        records = [json.loads(line) for line in
+                   (tmp_path / "manifest.jsonl").read_text().splitlines()]
+        fault_records = [r for r in records if r["kind"] == "fault"]
+        assert len(fault_records) == 1
+        assert fault_records[0]["stats_digest"] == cold["digest"]
+        assert fault_records[0]["schema"] == "repro-manifest/2"
+        assert len(fault_records[0]["extra"]["trials"]) == 4
+
+        # Second invocation: every trial satisfied from the checkpoint.
+        assert main(args) == 0
+        lines = [json.loads(line) for line in
+                 capsys.readouterr().out.splitlines()
+                 if line.startswith("{")]
+        resumed = next(line for line in lines
+                       if line["type"] == "campaign")
+        assert resumed["resumed"] == 4
+        assert all(line["resumed"] for line in lines
+                   if line["type"] == "trial")
+        assert resumed["digest"] == cold["digest"]
+
+        # The gate applies to resumed runs too: seed 2012 produces at
+        # least one SDC trial, so --max-sdc 0.0 fails instantly.
+        assert main(args + ["--max-sdc", "0.0"]) == 1
+        assert "exceeds --max-sdc" in capsys.readouterr().err
+
+    def test_table_mode(self, tmp_path, capsys):
+        assert main(self.ARGS + ["--runs-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "fault campaign" in out
+        assert "campaign digest: " in out
+        for outcome in ("masked", "sdc", "detected", "hang"):
+            assert outcome in out
+
+
+class TestExitCodes:
+    """The uniform contract: 0 success, 1 gate failure, 2 usage or
+    configuration error (one-line message, no traceback)."""
+
+    def test_repro_error_maps_to_exit_2(self, capsys):
+        assert main(["faults", "--trials", "0", "--no-manifest"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert "Traceback" not in err
+
+    def test_missing_regress_baseline_is_exit_2(self, tmp_path, capsys):
+        assert main(["regress", "--runs-dir", str(tmp_path),
+                     "--baseline", str(tmp_path / "nope")]) == 2
+        err = capsys.readouterr().err
+        assert "baseline manifest not found" in err
+        assert "Traceback" not in err
+
+    def test_bad_arch_is_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["farm", "--arch", "bogus"])
+        assert excinfo.value.code == 2
+        with pytest.raises(SystemExit) as excinfo:
+            main(["faults", "--arch", "bogus"])
+        assert excinfo.value.code == 2
